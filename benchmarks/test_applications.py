@@ -1,0 +1,112 @@
+"""§4.1 application claims.
+
+* the per-reference profiling tool runs with modest overhead (the paper's
+  earlier study [HMMS95] reports < 25%);
+* sampling reduces an expensive tool's overhead while keeping the
+  estimates useful (§4.2.2);
+* handler-launched prefetching only spends overhead while the code is
+  missing, and pays off on memory-latency-bound code (§4.1.2);
+* context-switch-on-miss multithreading beats blocking when switch costs
+  are small and threads are memory-bound (§4.1.3).
+"""
+
+import pytest
+
+from conftest import INSTRUCTIONS, WARMUP
+from repro.apps import (
+    AdaptivePrefetcher,
+    MissProfiler,
+    SamplingProfiler,
+    simulate_multithreading,
+)
+from repro.harness import MACHINES, R10000_SPEC, build_core, build_hierarchy
+from repro.isa import alu, load
+from repro.workloads import spec92_workload
+
+
+def profiling_overhead(machine_key, profiler=None, sampler=None):
+    spec = MACHINES[machine_key]
+    workload = spec92_workload("compress")
+    budget = INSTRUCTIONS + WARMUP
+
+    base = build_core(spec)
+    base_stats = base.run(workload.stream(8 * budget), max_app_insts=budget,
+                          warmup_insts=WARMUP)
+
+    tool = profiler or sampler
+    core = build_core(spec, informing=tool.informing_config())
+    if sampler is not None:
+        sampler.attach(core)
+        stream = sampler.instrument(workload.stream(8 * budget))
+    else:
+        stream = tool.counting_stream(workload.stream(8 * budget))
+    stats = core.run(stream, max_app_insts=budget, warmup_insts=WARMUP)
+    return stats.cycles / base_stats.cycles - 1.0
+
+
+@pytest.fixture(scope="module")
+def profile_overheads():
+    return {machine: profiling_overhead(machine, profiler=MissProfiler())
+            for machine in ("ooo", "inorder")}
+
+
+def test_profiling_runs(run_once):
+    overhead = run_once(profiling_overhead, "ooo", MissProfiler())
+    assert overhead >= 0
+
+
+@pytest.mark.parametrize("machine", ["ooo", "inorder"])
+def test_profiling_overhead_modest(profile_overheads, machine):
+    """[HMMS95]: per-reference miss rates at < 25% runtime overhead."""
+    assert profile_overheads[machine] < 0.30
+
+
+def test_sampling_cuts_overhead(profile_overheads):
+    sampled = profiling_overhead(
+        "inorder", sampler=SamplingProfiler(period=4096, duty=0.25))
+    assert sampled < profile_overheads["inorder"] * 0.8 + 0.02
+
+
+def test_adaptive_prefetching_pays_off(run_once):
+    def experiment():
+        trace = []
+        for i in range(600):
+            trace.append(load(0x200000 + 64 * i, dest=2, pc=0x100))
+            for c in range(22):
+                trace.append(alu(dest=3, srcs=(2 if c == 0 else 3,),
+                                 pc=0x200 + 4 * c))
+        base = build_core(R10000_SPEC).run(iter(list(trace)))
+        prefetcher = AdaptivePrefetcher(degree=5)
+        informed = build_core(
+            R10000_SPEC, informing=prefetcher.informing_config()
+        ).run(iter(list(trace)))
+        return base.cycles, informed.cycles, prefetcher.invocations
+
+    base_cycles, pf_cycles, invocations = run_once(experiment)
+    assert pf_cycles < base_cycles * 0.8
+    assert invocations < 600 * 0.6  # most misses eliminated
+
+
+def test_multithreading_scales_until_bandwidth(run_once):
+    def thread(tid):
+        def factory():
+            base = 0x1000000 * (tid + 1)
+            for i in range(400):
+                yield load(base + 64 * i, dest=2, pc=0x1000)
+                for c in range(14):
+                    yield alu(dest=3, srcs=(2 if c == 0 else 3,),
+                              pc=0x1004 + 4 * c)
+        return factory
+
+    def experiment():
+        ipcs = {}
+        for threads in (1, 2, 4):
+            result = simulate_multithreading(
+                [thread(t) for t in range(threads)],
+                build_hierarchy(R10000_SPEC), switch_cost=16)
+            ipcs[threads] = result.ipc
+        return ipcs
+
+    ipcs = run_once(experiment)
+    assert ipcs[2] > ipcs[1] * 1.3
+    assert ipcs[4] >= ipcs[2] * 0.95

@@ -1,0 +1,41 @@
+"""§2.3: the condition-code scheme and per-reference trap setup cost the
+same — one instruction per reference of interest.
+
+Paper: "All of the proposed methods have similar performance"; the explicit
+BLMISS check and the per-reference MHAR set both consume a fetch slot per
+reference and redirect on a miss.
+"""
+
+import pytest
+
+from conftest import INSTRUCTIONS, WARMUP
+from repro.harness.runner import run_figure
+
+
+@pytest.fixture(scope="module")
+def cc_result():
+    return run_figure("cc", ["compress", "alvinn"], ["ooo", "inorder"],
+                      ["N", "CC1", "U1"], INSTRUCTIONS, WARMUP)
+
+
+def test_cc_vs_trap_runs(run_once):
+    result = run_once(run_figure, "cc", ["compress"], ["ooo"],
+                      ["N", "CC1", "U1"], INSTRUCTIONS, WARMUP)
+    assert len(result.bars) == 3
+
+
+@pytest.mark.parametrize("bench", ["compress", "alvinn"])
+@pytest.mark.parametrize("machine", ["ooo", "inorder"])
+def test_mechanisms_cost_about_the_same(cc_result, bench, machine):
+    cc = cc_result.get(bench, machine, "CC1").normalized
+    trap = cc_result.get(bench, machine, "U1").normalized
+    assert cc == pytest.approx(trap, abs=0.10), (bench, machine, cc, trap)
+
+
+@pytest.mark.parametrize("machine", ["ooo", "inorder"])
+def test_both_invoke_handlers_on_misses(cc_result, machine):
+    cc = cc_result.get("compress", machine, "CC1")
+    trap = cc_result.get("compress", machine, "U1")
+    assert cc.handler_invocations > 0
+    ratio = cc.handler_invocations / max(1, trap.handler_invocations)
+    assert 0.6 < ratio < 1.4

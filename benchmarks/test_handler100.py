@@ -1,0 +1,36 @@
+"""§4.2.2: 100-instruction miss handlers.
+
+Paper: execution time increased sharply for the miss-heavy applications
+(compress ~6x, su2cor ~7x slower on the in-order machine) but stayed tiny
+for ora (~2%), whose cache behaviour is nearly perfect.
+"""
+
+import pytest
+
+from conftest import INSTRUCTIONS, WARMUP
+from repro.harness.runner import run_figure
+
+
+@pytest.fixture(scope="module")
+def handler100_result():
+    return run_figure("handler100", ["compress", "su2cor", "ora"],
+                      ["inorder"], ["N", "S100"], INSTRUCTIONS, WARMUP)
+
+
+def test_handler100_runs(run_once):
+    result = run_once(run_figure, "handler100", ["ora"], ["inorder"],
+                      ["N", "S100"], INSTRUCTIONS, WARMUP)
+    assert len(result.bars) == 2
+
+
+def test_miss_heavy_benchmarks_blow_up(handler100_result):
+    compress = handler100_result.get("compress", "inorder", "S100").normalized
+    su2cor = handler100_result.get("su2cor", "inorder", "S100").normalized
+    assert compress > 2.5   # paper: ~6x
+    assert su2cor > 4.0     # paper: ~7x
+    assert su2cor > compress  # same ordering as the paper
+
+
+def test_ora_stays_cheap(handler100_result):
+    ora = handler100_result.get("ora", "inorder", "S100").normalized
+    assert ora < 1.10       # paper: ~2%

@@ -1,0 +1,41 @@
+"""§4.3.2's closing observation: smaller network latencies or larger
+primary caches improve the informing implementation's relative performance.
+"""
+
+import pytest
+
+from repro.harness.coherence_exp import sensitivity
+
+WORKLOADS = ["read_mostly", "mixed"]
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return sensitivity(workloads=WORKLOADS,
+                       message_latencies=(300, 900, 1800),
+                       l1_sizes=(8 * 1024, 64 * 1024))
+
+
+def test_sensitivity_runs(run_once):
+    points = run_once(sensitivity, workloads=["read_mostly"],
+                      message_latencies=(900,), l1_sizes=())
+    assert len(points) == 1
+
+
+def test_smaller_network_latency_helps_informing(sweep):
+    by_latency = {p.message_latency: p for p in sweep
+                  if p.l1_size == 16 * 1024}
+    assert (by_latency[300].reference_checking
+            >= by_latency[900].reference_checking
+            >= by_latency[1800].reference_checking)
+    assert by_latency[300].ecc >= by_latency[1800].ecc
+
+
+def test_larger_l1_does_not_hurt_informing(sweep):
+    """The paper's direction: larger primary caches improve informing's
+    relative standing (fewer handler invocations while the comparators'
+    fixed costs remain)."""
+    at_900 = {p.l1_size: p for p in sweep if p.message_latency == 900}
+    small = at_900[8 * 1024]
+    large = at_900[64 * 1024]
+    assert large.reference_checking >= small.reference_checking - 0.02

@@ -1,0 +1,55 @@
+"""Table 1: the machine models carry exactly the paper's parameters."""
+
+from repro.harness import ALPHA21164_SPEC, R10000_SPEC, build_core
+
+
+def test_table1_out_of_order(run_once):
+    spec = run_once(lambda: R10000_SPEC)
+    core, mem = spec.core, spec.hierarchy
+    assert core.issue_width == 4
+    assert (core.int_units, core.fp_units, core.branch_units,
+            core.mem_units) == (2, 2, 1, 1)
+    assert core.rob_size == 32
+    assert (core.latencies.imul, core.latencies.idiv) == (12, 76)
+    assert (core.latencies.fdiv, core.latencies.fsqrt,
+            core.latencies.fp_other) == (15, 20, 2)
+    assert (mem.l1.size, mem.l1.assoc) == (32 * 1024, 2)
+    assert (mem.l2.size, mem.l2.assoc) == (2 * 1024 * 1024, 2)
+    assert mem.l1.line_size == 32
+    assert (mem.l1_to_l2_latency, mem.l1_to_mem_latency) == (12, 75)
+    assert (mem.mshr_count, mem.data_banks, mem.fill_time) == (8, 2, 4)
+    assert mem.mem_cycles_per_access == 20
+
+
+def test_table1_in_order(run_once):
+    spec = run_once(lambda: ALPHA21164_SPEC)
+    core, mem = spec.core, spec.hierarchy
+    assert core.issue_width == 4
+    assert (core.int_units, core.fp_units, core.branch_units,
+            core.mem_units) == (2, 2, 1, 0)
+    assert (core.latencies.imul, core.latencies.idiv) == (12, 76)
+    assert (core.latencies.fdiv, core.latencies.fsqrt,
+            core.latencies.fp_other) == (17, 20, 4)
+    assert (mem.l1.size, mem.l1.assoc) == (8 * 1024, 1)
+    assert (mem.l2.size, mem.l2.assoc) == (2 * 1024 * 1024, 4)
+    assert (mem.l1_to_l2_latency, mem.l1_to_mem_latency) == (11, 50)
+    assert (mem.mshr_count, mem.data_banks, mem.fill_time) == (8, 2, 4)
+
+
+def test_machines_build_and_run(run_once):
+    """Both models simulate a short stream end to end."""
+    from repro.workloads import spec92_workload
+
+    def build_and_run():
+        results = {}
+        for spec in (R10000_SPEC, ALPHA21164_SPEC):
+            core = build_core(spec)
+            stats = core.run(spec92_workload("espresso").stream(5_000),
+                             max_app_insts=5_000)
+            results[spec.name] = stats
+        return results
+
+    results = run_once(build_and_run)
+    for stats in results.values():
+        assert stats.cycles > 0
+        assert 0 < stats.ipc <= 4

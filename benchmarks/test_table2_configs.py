@@ -1,0 +1,31 @@
+"""Table 2: coherence machine and method parameters, asserted cell by cell."""
+
+from repro.coherence import (
+    AccessControlMethod,
+    METHOD_COSTS,
+    TABLE2_MACHINE,
+)
+
+
+def test_table2_machine(run_once):
+    machine = run_once(lambda: TABLE2_MACHINE)
+    assert machine.processors == 16
+    assert machine.l1_size == 16 * 1024
+    assert machine.l1_miss_penalty == 10
+    assert machine.l2_size == 128 * 1024
+    assert machine.l2_miss_penalty == 25
+    assert machine.coherence_unit == 32
+    assert machine.message_latency == 900
+
+
+def test_table2_method_costs(run_once):
+    costs = run_once(lambda: METHOD_COSTS)
+    rc = costs[AccessControlMethod.REFERENCE_CHECKING]
+    assert rc.lookup == 18
+    assert rc.state_change == 25
+    ecc = costs[AccessControlMethod.ECC]
+    assert ecc.read_invalid_fault == 250
+    assert ecc.write_readonly_page_fault == 230
+    informing = costs[AccessControlMethod.INFORMING]
+    assert informing.lookup == 33  # 6-cycle pipeline delay + 9 handler + probe
+    assert informing.state_change == 25

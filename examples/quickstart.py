@@ -1,0 +1,55 @@
+"""Quickstart: run a real (tiny) program on the R10000-like core and count
+its cache misses with an informing memory operation.
+
+The program is written in the package's mini assembly, executed
+functionally to produce a dynamic trace, and then simulated cycle by cycle
+with a one-instruction miss handler attached through the MHAR — the
+low-overhead cache-miss-trap mechanism of Section 2.2.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.apps import MissCounter
+from repro.harness import R10000_SPEC, build_core
+from repro.isa import Interpreter, assemble
+
+# A strided sum over a 16KB array: every 32-byte line is touched once, so
+# we expect one miss per line (16KB / 32B = 512) on a cold cache.
+PROGRAM = """
+        li   r1, 0x100000     # array base
+        li   r2, 0            # index (bytes)
+        li   r3, 16384        # array size
+        li   r4, 0            # accumulator
+loop:
+        add  r5, r1, r2
+        ld   r6, 0(r5)        # the informing load
+        add  r4, r4, r6
+        addi r2, r2, 4
+        blt  r2, r3, loop
+        halt
+"""
+
+
+def main() -> None:
+    program = assemble(PROGRAM)
+    trace = Interpreter(program).trace(max_insts=100_000)
+    print(f"program executed {len(trace)} dynamic instructions")
+
+    counter = MissCounter()
+    core = build_core(R10000_SPEC, informing=counter.informing_config())
+    stats = core.run(iter(trace))
+
+    mem = core.hierarchy.stats
+    print(f"cycles:                 {stats.cycles}")
+    print(f"IPC:                    {stats.ipc:.2f}")
+    print(f"application insts:      {stats.app_instructions}")
+    print(f"handler insts:          {stats.handler_instructions}")
+    print(f"L1 misses (hardware):   {mem.l1_misses}")
+    print(f"misses seen by handler: {counter.misses}")
+    assert counter.misses == mem.l1_misses, "informing missed a line fetch!"
+    print("every line fetch invoked the miss handler — "
+          "software observed its own memory behaviour.")
+
+
+if __name__ == "__main__":
+    main()

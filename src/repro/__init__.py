@@ -1,0 +1,19 @@
+"""Reproduction of "Informing Memory Operations: Providing Memory
+Performance Feedback in Modern Processors" (Horowitz, Martonosi, Mowry,
+Smith — ISCA 1996).
+
+An informing memory operation is a load/store fused with a conditional
+branch-and-link taken only on a primary-cache miss, giving software a
+fine-grained, low-overhead view of its own memory behaviour.  The package
+provides the paper's two machine models (in-order 21164-like,
+out-of-order R10000-like), both informing mechanisms (condition code and
+low-overhead trap), the software clients of Section 4.1, and the
+Section 4.3 coherence case study, plus the harness that regenerates every
+table and figure in the evaluation.
+
+Start with :mod:`repro.harness` (machine configs + experiment runners) or
+the examples/ directory; DESIGN.md maps the paper onto the code and
+EXPERIMENTS.md records paper-vs-measured results.
+"""
+
+__version__ = "1.0.0"

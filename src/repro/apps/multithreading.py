@@ -1,0 +1,145 @@
+"""Software-controlled multithreading: context-switch-on-miss (§4.1.3).
+
+The paper describes — but does not evaluate — using a single miss handler
+to save the current thread's registers and resume another thread while the
+miss is outstanding, with the handler length (tens of instructions)
+depending on how much register state must be spilled.  This module provides
+the corresponding coarse-grained timing model on top of the real memory
+substrate: a single-issue processor front end running N thread traces over
+one shared :class:`~repro.memory.hierarchy.MemoryHierarchy`, where a
+primary miss triggers a software switch costing ``switch_cost``
+instructions (the handler), against two baselines — a single thread, and
+blocking on every miss with no switching.
+
+The model answers the question the paper raises: when does the switch
+overhead pay for itself against the latency it hides?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, Optional
+
+from repro.isa.instructions import DynInst
+from repro.memory.hierarchy import MemoryHierarchy
+
+
+@dataclass
+class MultithreadingResult:
+    """Outcome of one multithreaded simulation."""
+
+    cycles: int
+    instructions: int
+    switches: int
+    switch_overhead_instructions: int
+    threads: int
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+
+class _Thread:
+    __slots__ = ("stream", "blocked_until", "done", "executed")
+
+    def __init__(self, stream: Iterator[DynInst]) -> None:
+        self.stream = stream
+        self.blocked_until = 0
+        self.done = False
+        self.executed = 0
+
+
+def simulate_multithreading(
+    thread_factories: List[Callable[[], Iterator[DynInst]]],
+    hierarchy: MemoryHierarchy,
+    max_instructions: int = 50_000,
+    switch_cost: int = 24,
+    switch_on_miss: bool = True,
+    secondary_only: bool = True,
+) -> MultithreadingResult:
+    """Run N threads on a single-issue core with switch-on-miss.
+
+    Args:
+        thread_factories: one stream factory per thread.
+        hierarchy: shared memory hierarchy (fresh per experiment).
+        max_instructions: total application instructions to execute.
+        switch_cost: handler length — instructions burned per switch
+            (register save/restore; the paper estimates a handful to over
+            100 depending on compiler support).
+        switch_on_miss: False gives the blocking baseline (a miss stalls
+            the processor until the data returns).
+        secondary_only: switch only on secondary-cache misses — the
+            paper's first optimization, since a 12-cycle primary miss is
+            cheaper than the switch itself.
+    """
+    threads = [_Thread(factory()) for factory in thread_factories]
+    if not threads:
+        raise ValueError("need at least one thread")
+    cycle = 0
+    executed = 0
+    switches = 0
+    overhead = 0
+    current = 0
+
+    def next_runnable(now: int) -> Optional[int]:
+        for offset in range(1, len(threads) + 1):
+            index = (current + offset) % len(threads)
+            thread = threads[index]
+            if not thread.done and thread.blocked_until <= now:
+                return index
+        return None
+
+    while executed < max_instructions:
+        thread = threads[current]
+        if thread.done or thread.blocked_until > cycle:
+            runnable = next_runnable(cycle)
+            if runnable is None:
+                pending = [t.blocked_until for t in threads
+                           if not t.done and t.blocked_until > cycle]
+                if not pending and all(
+                        t.done or t.blocked_until <= cycle for t in threads):
+                    break  # every thread exhausted
+                cycle = min(pending) if pending else cycle + 1
+                continue
+            current = runnable
+            thread = threads[current]
+        inst = next(thread.stream, None)
+        if inst is None:
+            thread.done = True
+            if all(t.done for t in threads):
+                break
+            continue
+        thread.executed += 1
+        executed += 1
+        cycle += 1
+        if not inst.is_mem:
+            continue
+        result = hierarchy.access(inst.addr, inst.is_store, cycle)
+        while result is None:  # MSHR full: stall a cycle and retry
+            cycle += 1
+            result = hierarchy.access(inst.addr, inst.is_store, cycle)
+        if not result.l1_miss or inst.is_store:
+            continue
+        miss_latency = result.ready_cycle - cycle
+        is_secondary_level = result.level == 3
+        should_switch = (switch_on_miss
+                         and (is_secondary_level or not secondary_only)
+                         and len(threads) > 1)
+        if should_switch:
+            thread.blocked_until = result.ready_cycle
+            switches += 1
+            overhead += switch_cost
+            cycle += switch_cost  # the handler runs on this processor
+            nxt = next_runnable(cycle)
+            if nxt is not None:
+                current = nxt
+        else:
+            cycle += max(0, miss_latency)
+
+    return MultithreadingResult(
+        cycles=cycle,
+        instructions=executed,
+        switches=switches,
+        switch_overhead_instructions=overhead,
+        threads=len(threads),
+    )

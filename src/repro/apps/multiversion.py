@@ -1,0 +1,91 @@
+"""Multi-version code selection driven by informing feedback (§4.1.2).
+
+One of the paper's prefetching options: "generating multiple versions of a
+piece of code (e.g., a loop) with different prefetching strategies and
+using informing information to select which version to run".  The selector
+runs the application in windows; a cheap counting handler observes the
+window's misses, and the next window runs either the plain version or the
+prefetching version of the code depending on whether the observed miss
+rate crossed a threshold.
+
+Because the two versions execute the same *work* (the prefetching version
+is the plain instruction stream with non-binding prefetches planted ahead
+of its references), switching is purely a code-selection decision — exactly
+the mechanism the paper sketches.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Iterator, List, Set
+
+from repro.apps.prefetching import insert_static_prefetches
+from repro.core.handlers import CallbackHandler, GenericHandler
+from repro.core.mechanisms import InformingConfig, Mechanism
+from repro.isa.instructions import DynInst
+
+
+class AdaptiveVersionSelector:
+    """Window-by-window selection between plain and prefetching code.
+
+    Args:
+        base_stream: the application's dynamic instruction stream.
+        prefetch_pcs: static references the prefetching version covers.
+        window: application instructions per selection window.
+        miss_threshold: misses-per-instruction above which the next
+            window runs the prefetching version.
+        distance_lines: prefetch lead distance in the fast version.
+    """
+
+    def __init__(
+        self,
+        base_stream: Iterable[DynInst],
+        prefetch_pcs: Set[int],
+        window: int = 2000,
+        miss_threshold: float = 0.01,
+        distance_lines: int = 6,
+    ) -> None:
+        if window < 10:
+            raise ValueError("selection window too small to be meaningful")
+        if not 0.0 < miss_threshold < 1.0:
+            raise ValueError("miss threshold must be in (0, 1)")
+        self._source = iter(base_stream)
+        self.prefetch_pcs = prefetch_pcs
+        self.window = window
+        self.miss_threshold = miss_threshold
+        self.distance_lines = distance_lines
+        self.choices: List[str] = []
+        self._window_misses = 0
+        # A 1-instruction counting handler: the feedback channel.
+        self.handler = CallbackHandler(self._on_miss,
+                                       cost_model=GenericHandler(1))
+
+    def _on_miss(self, ref: DynInst) -> None:
+        self._window_misses += 1
+        return None
+
+    def informing_config(self) -> InformingConfig:
+        return InformingConfig(mechanism=Mechanism.TRAP, handler=self.handler)
+
+    def stream(self) -> Iterator[DynInst]:
+        """The version-selected instruction stream."""
+        use_prefetch = False
+        while True:
+            chunk = list(itertools.islice(self._source, self.window))
+            if not chunk:
+                return
+            self.choices.append("prefetch" if use_prefetch else "plain")
+            self._window_misses = 0
+            if use_prefetch:
+                yield from insert_static_prefetches(
+                    iter(chunk), self.prefetch_pcs,
+                    distance_lines=self.distance_lines)
+            else:
+                yield from chunk
+            # Select the next window's version from this window's misses.
+            rate = self._window_misses / len(chunk)
+            use_prefetch = rate > self.miss_threshold
+
+    @property
+    def prefetch_windows(self) -> int:
+        return sum(1 for choice in self.choices if choice == "prefetch")

@@ -1,0 +1,115 @@
+"""Conflict-driven page remapping (the paper's intro, after [BLRC94]).
+
+The introduction lists page coloring/migration as an operating-system use
+of memory-behaviour feedback: "Operating systems have used coarse-grained
+system information to reduce latencies by adjusting page coloring and
+migration strategies".  Informing memory operations supply exactly the
+missing fine-grained signal.  This module closes that loop:
+
+1. profile per-page miss counts with the informing profiler;
+2. identify hot pages that share a *cache color* (their page frames map to
+   the same region of a physically-indexed direct-mapped cache — su2cor's
+   pathology at page granularity);
+3. build a new page mapping that spreads the hot pages across colors;
+4. apply the mapping to the reference stream (the simulation analogue of
+   the OS recoloring the page frames).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, Iterator, List, Tuple
+
+from repro.apps.monitoring import MissProfile
+from repro.isa.instructions import DynInst
+from repro.memory.config import CacheConfig
+
+
+class PageConflictAnalyzer:
+    """Aggregate an informing miss profile at page/color granularity."""
+
+    def __init__(self, cache: CacheConfig, page_size: int = 4096) -> None:
+        if page_size % cache.line_size:
+            raise ValueError("page size must be a multiple of the line size")
+        if cache.size % page_size:
+            raise ValueError(
+                "cache size must be a multiple of the page size for "
+                "page-granularity coloring")
+        self.cache = cache
+        self.page_size = page_size
+        self.colors = cache.size // page_size
+        self.miss_by_page: Counter = Counter()
+
+    def page_of(self, addr: int) -> int:
+        return addr // self.page_size
+
+    def color_of(self, page: int) -> int:
+        return page % self.colors
+
+    def note_miss(self, addr: int, count: int = 1) -> None:
+        self.miss_by_page[self.page_of(addr)] += count
+
+    def note_profile(self, misses_by_addr: Dict[int, int]) -> None:
+        """Fold in address->miss-count data (e.g. from a MissCounter keyed
+        on reference addresses)."""
+        for addr, count in misses_by_addr.items():
+            self.note_miss(addr, count)
+
+    def hot_pages(self, threshold: int = 1) -> List[Tuple[int, int]]:
+        """(page, misses) pairs at or above *threshold*, hottest first."""
+        return sorted(
+            ((page, count) for page, count in self.miss_by_page.items()
+             if count >= threshold),
+            key=lambda item: -item[1])
+
+    def color_pressure(self) -> Dict[int, int]:
+        """Total profiled misses landing on each cache color."""
+        pressure: Dict[int, int] = {}
+        for page, count in self.miss_by_page.items():
+            color = self.color_of(page)
+            pressure[color] = pressure.get(color, 0) + count
+        return pressure
+
+    def build_remap(self, threshold: int = 1) -> Dict[int, int]:
+        """Greedy recoloring: hottest pages first onto the least-loaded
+        color; returns an old-page -> new-page mapping.
+
+        New frames are drawn from a fresh region so remapped pages never
+        collide with unmapped ones (the OS would pick free frames with the
+        desired color; any frame with the right color behaves identically
+        in a physically-indexed cache).
+        """
+        remap: Dict[int, int] = {}
+        load: Dict[int, int] = {color: 0 for color in range(self.colors)}
+        if not self.miss_by_page:
+            return remap
+        fresh_base = (max(self.miss_by_page) + self.colors + 1)
+        fresh_base -= fresh_base % self.colors  # color-align the pool
+        next_row = 0
+        for page, misses in self.hot_pages(threshold):
+            color = min(load, key=lambda c: load[c])
+            load[color] += misses
+            remap[page] = fresh_base + next_row * self.colors + color
+            next_row += 1
+        return remap
+
+
+def remap_stream(stream: Iterable[DynInst], remap: Dict[int, int],
+                 page_size: int = 4096) -> Iterator[DynInst]:
+    """Apply a page mapping to every data address in *stream*."""
+    if not remap:
+        yield from stream
+        return
+    for inst in stream:
+        if inst.addr is None or inst.handler_code:
+            yield inst
+            continue
+        page = inst.addr // page_size
+        new_page = remap.get(page)
+        if new_page is None:
+            yield inst
+        else:
+            new_addr = new_page * page_size + (inst.addr % page_size)
+            yield DynInst(inst.op, dest=inst.dest, srcs=inst.srcs,
+                          addr=new_addr, taken=inst.taken, pc=inst.pc,
+                          informing=inst.informing)

@@ -1,0 +1,15 @@
+"""Branch prediction (Table 1: 2-bit counters for both machines)."""
+
+from repro.branch.predictors import (
+    AlwaysTakenPredictor,
+    BranchPredictor,
+    StaticNotTakenPredictor,
+    TwoBitCounterPredictor,
+)
+
+__all__ = [
+    "BranchPredictor",
+    "TwoBitCounterPredictor",
+    "StaticNotTakenPredictor",
+    "AlwaysTakenPredictor",
+]

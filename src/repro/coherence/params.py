@@ -1,0 +1,74 @@
+"""Table 2: machine and per-method parameters for the access-control study."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class AccessControlMethod(enum.Enum):
+    """The three access-control implementations compared in Figure 4."""
+
+    REFERENCE_CHECKING = "reference_checking"  # Blizzard-S-like
+    ECC = "ecc"                                # Blizzard-E-like
+    INFORMING = "informing"                    # this paper
+
+
+@dataclass(frozen=True)
+class CoherenceMachineParams:
+    """Machine half of Table 2."""
+
+    processors: int = 16
+    l1_size: int = 16 * 1024          # per processor
+    l1_assoc: int = 2
+    l1_miss_penalty: int = 10         # cycles, L1 -> L2
+    l2_size: int = 128 * 1024         # per processor
+    l2_assoc: int = 2
+    l2_miss_penalty: int = 25         # cycles, L2 -> local memory
+    coherence_unit: int = 32          # bytes
+    message_latency: int = 900        # cycles, one-way
+    page_size: int = 4 * 1024         # for the ECC method's write faults
+
+    def __post_init__(self) -> None:
+        if self.processors < 1:
+            raise ValueError("need at least one processor")
+        if self.message_latency < 0:
+            raise ValueError("message latency cannot be negative")
+
+
+TABLE2_MACHINE = CoherenceMachineParams()
+
+
+@dataclass(frozen=True)
+class MethodCosts:
+    """Per-method overhead constants (Table 2, lower three rows).
+
+    ``lookup`` is the cost of consulting the protection-state table when
+    the method's trigger fires; ``state_change`` is the extra user-level
+    work when the protection level is inadequate and must change.  The ECC
+    method has no lookup on its trigger — the fault itself carries the
+    cost: ``read_invalid_fault`` for a read to a bad-ECC (invalid) block
+    and ``write_readonly_page_fault`` for a write to a block on a page
+    holding any READONLY data.
+    """
+
+    lookup: int = 0
+    state_change: int = 25
+    read_invalid_fault: int = 0
+    write_readonly_page_fault: int = 0
+
+
+METHOD_COSTS = {
+    # 18-cycle lookup on every shared reference; 25-cycle state change.
+    AccessControlMethod.REFERENCE_CHECKING: MethodCosts(
+        lookup=18, state_change=25),
+    # 250 cycles for a read to an invalid block; 230 cycles for writes to a
+    # block on a page with any READONLY data.
+    AccessControlMethod.ECC: MethodCosts(
+        lookup=0, state_change=25,
+        read_invalid_fault=250, write_readonly_page_fault=230),
+    # 33-cycle lookup on a miss (6-cycle pipeline delay + 9 handler cycles
+    # to determine load vs store + the table probe); 25-cycle state change.
+    AccessControlMethod.INFORMING: MethodCosts(
+        lookup=33, state_change=25),
+}

@@ -1,0 +1,135 @@
+"""Directory-based invalidation protocol over 32-byte coherence units.
+
+The protocol keeps, per block, the per-processor protection state the
+user-level handlers maintain (INVALID / READONLY / READWRITE, §4.3.1) and a
+full-map directory at the block's home node.  Remote operations are
+performed with user-level DMA — they do not interrupt the remote processor
+(the paper's assumption) — so their cost to the *requester* is purely
+message latency:
+
+* acquiring READONLY: request to home + data back (2 hops), plus a
+  downgrade round trip when another processor holds the block READWRITE;
+* acquiring READWRITE: request + grant (2 hops), plus an invalidation
+  round trip when any other processor holds a copy (invalidations go out
+  in parallel, so one round trip covers them all).
+
+A processor whose copy is invalidated (or revoked) has the block evicted
+from its caches, so — crucially for the informing method — its next access
+*will* miss and run the access-control handler.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+
+class BlockState(enum.Enum):
+    INVALID = 0
+    READONLY = 1
+    READWRITE = 2
+
+
+class DirectoryProtocol:
+    """Protection-state table plus full-map directory."""
+
+    def __init__(self, processors: int, message_latency: int,
+                 coherence_unit: int = 32, page_size: int = 4096) -> None:
+        self.processors = processors
+        self.message_latency = message_latency
+        self.coherence_unit = coherence_unit
+        self.page_size = page_size
+        self._blocks_per_page = max(1, page_size // coherence_unit)
+        self._state: Dict[Tuple[int, int], BlockState] = {}
+        self._sharers: Dict[int, Set[int]] = {}
+        self._owner: Dict[int, Optional[int]] = {}
+        # (proc, page) -> number of READONLY blocks, for the ECC write rule.
+        self._ro_count: Dict[Tuple[int, int], int] = {}
+        #: called with (processor, block) whenever a copy is revoked, so
+        #: the simulator can evict it from that processor's caches.
+        self.eviction_hooks: List[Callable[[int, int], None]] = []
+        self.remote_invalidations = 0
+        self.downgrades = 0
+
+    def block_of(self, addr: int) -> int:
+        return addr // self.coherence_unit
+
+    def state(self, proc: int, block: int) -> BlockState:
+        return self._state.get((proc, block), BlockState.INVALID)
+
+    def sharers(self, block: int) -> Set[int]:
+        return set(self._sharers.get(block, ()))
+
+    def owner(self, block: int) -> Optional[int]:
+        return self._owner.get(block)
+
+    def _set_state(self, proc: int, block: int, new: BlockState) -> None:
+        old = self._state.get((proc, block), BlockState.INVALID)
+        if old is new:
+            return
+        page = block // self._blocks_per_page
+        if old is BlockState.READONLY:
+            self._ro_count[(proc, page)] -= 1
+        if new is BlockState.READONLY:
+            self._ro_count[(proc, page)] = (
+                self._ro_count.get((proc, page), 0) + 1)
+        self._state[(proc, block)] = new
+
+    # -- state transitions ---------------------------------------------------
+    def acquire_read(self, proc: int, block: int) -> int:
+        """Give *proc* READONLY access; return requester message cycles."""
+        if self.state(proc, block) is not BlockState.INVALID:
+            return 0
+        hops = 2  # request to home + data back
+        owner = self._owner.get(block)
+        if owner is not None and owner != proc:
+            # Downgrade the READWRITE owner to READONLY first.
+            self._set_state(owner, block, BlockState.READONLY)
+            self._owner[block] = None
+            self._sharers.setdefault(block, set()).add(owner)
+            self.downgrades += 1
+            hops += 2
+        self._set_state(proc, block, BlockState.READONLY)
+        self._sharers.setdefault(block, set()).add(proc)
+        return hops * self.message_latency
+
+    def acquire_write(self, proc: int, block: int) -> int:
+        """Give *proc* READWRITE access; return requester message cycles."""
+        if self.state(proc, block) is BlockState.READWRITE:
+            return 0
+        hops = 2  # request + grant
+        others = self._sharers.get(block, set()) - {proc}
+        owner = self._owner.get(block)
+        if owner is not None and owner != proc:
+            others = others | {owner}
+        if others:
+            # Parallel invalidations + acks: one extra round trip.
+            hops += 2
+            for other in others:
+                self._revoke(other, block)
+        self._sharers[block] = {proc}
+        self._owner[block] = proc
+        self._set_state(proc, block, BlockState.READWRITE)
+        return hops * self.message_latency
+
+    def _revoke(self, proc: int, block: int) -> None:
+        self._set_state(proc, block, BlockState.INVALID)
+        sharers = self._sharers.get(block)
+        if sharers is not None:
+            sharers.discard(proc)
+        if self._owner.get(block) == proc:
+            self._owner[block] = None
+        self.remote_invalidations += 1
+        for hook in self.eviction_hooks:
+            hook(proc, block)
+
+    # -- queries used by the ECC write-fault rule ------------------------------
+    def page_has_readonly(self, proc: int, addr: int) -> bool:
+        """Does *proc*'s page containing *addr* hold any READONLY block?
+
+        The Blizzard-E write path protects whole pages; a write to a block
+        on a page with any READONLY data faults even if the written block
+        itself is READWRITE.
+        """
+        page = addr // self.page_size
+        return self._ro_count.get((proc, page), 0) > 0

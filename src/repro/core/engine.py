@@ -1,0 +1,73 @@
+"""The informing engine: MHAR/MHRR semantics shared by both cores.
+
+The cores consult one :class:`InformingEngine` per run.  On a primary
+data-cache miss by an informing reference the core asks the engine for the
+handler body to inject; the engine implements the MHAR-disable convention
+(``MHAR == 0`` → no trap), dispatches single vs unique handlers, and keeps
+the invocation statistics the experiments report.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.core.mechanisms import InformingConfig, Mechanism
+from repro.isa.instructions import DynInst
+
+
+class InformingEngine:
+    """Run-time informing-operation state.
+
+    Args:
+        config: the informing configuration.
+        observer: optional Python-level hook called on every handler
+            invocation with the missing reference — the zero-cost
+            measurement channel tests and applications use alongside the
+            modelled handler cost.
+    """
+
+    def __init__(self, config: InformingConfig,
+                 observer: Optional[Callable[[DynInst], None]] = None) -> None:
+        self.config = config
+        self.observer = observer
+        self.invocations = 0
+        self.injected_instructions = 0
+        self.enabled = True  # cleared models writing 0 into the MHAR
+
+    # -- run-time control (what user code would do by writing the MHAR) ----
+    def disable(self) -> None:
+        """Model ``MHAR <- 0``: misses stop trapping."""
+        self.enabled = False
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    # -- core-facing API ----------------------------------------------------
+    def wants(self, inst: DynInst) -> bool:
+        """Should a miss by *inst* invoke the informing mechanism?
+
+        Handler code itself never re-traps (the paper's handlers run with
+        trapping implicitly disabled to avoid recursion), and prefetches
+        are non-binding hints with no hit/miss architectural outcome.
+        """
+        if not self.enabled or not self.config.active:
+            return False
+        return inst.informing and not inst.handler_code
+
+    def on_miss(self, inst: DynInst) -> Optional[List[DynInst]]:
+        """Return the handler body to inject for a miss by *inst*.
+
+        Returns None when the mechanism is inactive for this reference.
+        """
+        if not self.wants(inst):
+            return None
+        self.invocations += 1
+        if self.observer is not None:
+            self.observer(inst)
+        body = self.config.handler.instructions(inst)
+        self.injected_instructions += len(body)
+        return body
+
+    @property
+    def mechanism(self) -> Mechanism:
+        return self.config.mechanism

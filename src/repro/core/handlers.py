@@ -1,0 +1,150 @@
+"""Miss-handler code generators.
+
+A handler is the user code an informing operation runs on a primary-cache
+miss.  The paper's overhead study (Section 4.2) uses *generic* handlers of
+1, 10 and 100 instructions, pessimistically all data-dependent on one
+another, in two flavours:
+
+* **single** — one handler shared by every reference.  Its instructions use
+  one fixed register, and the first instruction *reads* that register, so
+  each invocation depends on the previous one (the paper's model; this is
+  why su2cor sometimes runs *slower* with a single handler than with
+  unique handlers — Figure 3's discussion).
+* **unique** — a handler per static reference.  The first instruction
+  writes its register without reading it, so invocations are mutually
+  independent (register renaming breaks any false sharing).
+
+Handlers end with an MHRR jump back to the interrupted stream; the paper's
+"n-instruction handler" counts the n data-dependent instructions, the
+return jump being part of the mechanism.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from repro.isa.instructions import DynInst, mhrr_jump
+from repro.isa.opclass import OpClass
+from repro.isa.registers import HANDLER_REG_BASE
+
+#: Code region where handler instructions live (for I-cache modelling).
+#: The bases are offset half-way into the smallest I-cache's set space so
+#: handler lines do not alias the application's hot loop (an
+#: instrumentation tool lays handlers out exactly this way).
+SINGLE_HANDLER_BASE_PC = 0x0040_1000
+#: Unique handlers are packed contiguously from this base, the way a
+#: compiler or instrumentation tool would emit them — so they share
+#: I-cache lines like any other code.
+UNIQUE_HANDLER_REGION = 0x0080_1000
+
+
+class HandlerSpec:
+    """Interface: produce the dynamic handler body for one invocation."""
+
+    def instructions(self, ref: DynInst) -> List[DynInst]:
+        """Handler body for a miss by *ref*, ending in the MHRR jump."""
+        raise NotImplementedError
+
+    @property
+    def length(self) -> int:
+        """Nominal handler length (excluding the return jump), if fixed."""
+        raise NotImplementedError
+
+
+class GenericHandler(HandlerSpec):
+    """The paper's generic chained handler.
+
+    Args:
+        n_instructions: handler length (1, 10 or 100 in the paper).
+        unique: per-static-reference handlers (independent invocations)
+            rather than one shared handler (chained invocations).
+        chained: within-handler data dependence.  True reproduces the
+            paper's pessimistic model (an n-instruction handler takes n
+            cycles); False is the ablation knob.
+    """
+
+    def __init__(self, n_instructions: int, unique: bool = False,
+                 chained: bool = True) -> None:
+        if n_instructions < 1:
+            raise ValueError("handler needs at least one instruction")
+        self.n_instructions = n_instructions
+        self.unique = unique
+        self.chained = chained
+        self.reg = HANDLER_REG_BASE
+        self._bases = {}  # ref pc -> packed handler base (unique mode)
+
+    @property
+    def length(self) -> int:
+        return self.n_instructions
+
+    def base_pc(self, ref: DynInst) -> int:
+        if not self.unique:
+            return SINGLE_HANDLER_BASE_PC
+        base = self._bases.get(ref.pc)
+        if base is None:
+            # Allocate the next packed slot: body + return jump.
+            base = (UNIQUE_HANDLER_REGION
+                    + len(self._bases) * 4 * (self.n_instructions + 1))
+            self._bases[ref.pc] = base
+        return base
+
+    def instructions(self, ref: DynInst) -> List[DynInst]:
+        base = self.base_pc(ref)
+        reg = self.reg
+        body: List[DynInst] = []
+        for i in range(self.n_instructions):
+            if i == 0:
+                # A single handler's first instruction reads the register
+                # the *previous invocation* left behind; a unique handler
+                # starts a fresh dependence chain.
+                srcs = (reg,) if not self.unique else ()
+            else:
+                srcs = (reg,) if self.chained else ()
+            body.append(DynInst(OpClass.IALU, dest=reg, srcs=srcs,
+                                pc=base + 4 * i, informing=False,
+                                handler_code=True))
+        body.append(mhrr_jump(pc=base + 4 * self.n_instructions))
+        return body
+
+
+class CallbackHandler(HandlerSpec):
+    """A handler backed by a Python callback — the application hook.
+
+    The callback observes the missing reference (this is where the software
+    clients in :mod:`repro.apps` count misses, update profiles, launch
+    prefetches...) and returns the *modelled* handler body: the DynInst
+    sequence whose cost the simulation should charge.  Returning None
+    injects ``cost_model.instructions(ref)`` from the fallback generic
+    handler, or nothing when no fallback is given.
+
+    The returned body need not end with an MHRR jump; one is appended if
+    missing so the stream frame always returns cleanly.
+    """
+
+    def __init__(
+        self,
+        callback: Callable[[DynInst], Optional[Sequence[DynInst]]],
+        cost_model: Optional[HandlerSpec] = None,
+    ) -> None:
+        self.callback = callback
+        self.cost_model = cost_model
+        self.invocations = 0
+
+    @property
+    def length(self) -> int:
+        if self.cost_model is not None:
+            return self.cost_model.length
+        raise AttributeError("callback handler has no fixed length")
+
+    def instructions(self, ref: DynInst) -> List[DynInst]:
+        self.invocations += 1
+        body = self.callback(ref)
+        if body is None:
+            if self.cost_model is None:
+                return [mhrr_jump(pc=SINGLE_HANDLER_BASE_PC)]
+            return self.cost_model.instructions(ref)
+        body = list(body)
+        if not body or body[-1].op is not OpClass.MHRR_JUMP:
+            next_pc = (body[-1].pc + 4) if body else SINGLE_HANDLER_BASE_PC
+            body.append(mhrr_jump(pc=next_pc))
+        return body

@@ -1,0 +1,55 @@
+"""Stream rewriters for the explicit per-reference instructions.
+
+Two of the paper's usage modes add one instruction per informing reference
+to the instruction stream even when every reference hits:
+
+* the **condition-code scheme** compiles a ``BLMISS`` (branch-and-link on
+  the cache-outcome condition code) *after* each reference (Section 2.1);
+* **unique trap handlers** require an ``MHAR_SET`` *before* each reference
+  to point the MHAR at that reference's handler (Section 2.2).
+
+Both rewriters are lazy generators so multi-hundred-thousand-instruction
+traces never materialise.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.isa.instructions import DynInst, mhar_set
+from repro.isa.opclass import OpClass
+
+
+def _is_informing_ref(inst: DynInst) -> bool:
+    return (inst.informing and not inst.handler_code
+            and inst.op in (OpClass.LOAD, OpClass.STORE))
+
+
+def add_cc_checks(stream: Iterable[DynInst]) -> Iterator[DynInst]:
+    """Insert a BLMISS after every informing load/store.
+
+    The check instruction is data-dependent on the preceding reference's
+    hit/miss outcome; the cores resolve that dependence when the access
+    executes.  Its pc is derived from the reference's pc so each static
+    reference has a distinct check (and therefore a distinct handler
+    target, which is the condition-code scheme's strength).
+    """
+    for inst in stream:
+        yield inst
+        if _is_informing_ref(inst):
+            yield DynInst(OpClass.BLMISS, pc=inst.pc + 1)
+
+
+def add_mhar_sets(stream: Iterable[DynInst]) -> Iterator[DynInst]:
+    """Insert an MHAR_SET before every informing load/store.
+
+    Models pointing the MHAR at a per-reference handler.  The set
+    instruction is an ordinary single-cycle integer op with no register
+    dependences (the target address is pc-relative, footnote 2 of the
+    paper), so out-of-order cores can overlap it freely — the effect the
+    paper highlights for alvinn and mdljsp2.
+    """
+    for inst in stream:
+        if _is_informing_ref(inst):
+            yield mhar_set(pc=inst.pc + 2)
+        yield inst

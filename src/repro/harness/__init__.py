@@ -1,0 +1,19 @@
+"""Experiment harness: machine configs (Tables 1 & 2), runners, reporting."""
+
+from repro.harness.configs import (
+    ALPHA21164_SPEC,
+    R10000_SPEC,
+    MACHINES,
+    MachineSpec,
+    build_core,
+    build_hierarchy,
+)
+
+__all__ = [
+    "MachineSpec",
+    "R10000_SPEC",
+    "ALPHA21164_SPEC",
+    "MACHINES",
+    "build_core",
+    "build_hierarchy",
+]

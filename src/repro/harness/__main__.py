@@ -1,0 +1,171 @@
+"""Command-line entry point: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro.harness figure2 [--quick] [--benchmarks a,b,c]
+    python -m repro.harness figure3
+    python -m repro.harness handler100
+    python -m repro.harness branch-vs-exception
+    python -m repro.harness cc-vs-trap
+    python -m repro.harness figure4
+    python -m repro.harness sensitivity
+    python -m repro.harness table1
+    python -m repro.harness table2
+    python -m repro.harness characterize [--benchmarks a,b]
+
+``--quick`` shrinks run lengths by 4x for smoke testing; ``--json PATH``
+additionally writes the figure2/figure3/figure4 results as JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.harness import configs
+from repro.harness import coherence_exp
+from repro.harness import report
+from repro.harness import runner
+
+
+def _sizes(quick: bool):
+    if quick:
+        return dict(instructions=runner.DEFAULT_INSTRUCTIONS // 4,
+                    warmup=runner.DEFAULT_WARMUP // 4)
+    return dict(instructions=runner.DEFAULT_INSTRUCTIONS,
+                warmup=runner.DEFAULT_WARMUP)
+
+
+def _table1() -> str:
+    lines = ["Table 1 — simulation parameters"]
+    for key, spec in configs.MACHINES.items():
+        core, mem = spec.core, spec.hierarchy
+        lines += [
+            f"\n[{spec.name}]",
+            f"  issue width            {core.issue_width}",
+            f"  functional units       {core.int_units} INT, {core.fp_units} FP, "
+            f"{core.branch_units} Branch"
+            + (f", {core.mem_units} Memory" if core.mem_units else ""),
+            f"  reorder buffer         "
+            + (str(core.rob_size) if key == "ooo" else "N/A"),
+            f"  imul/idiv              {core.latencies.imul}/{core.latencies.idiv} cycles",
+            f"  fdiv/fsqrt/other fp    {core.latencies.fdiv}/{core.latencies.fsqrt}/"
+            f"{core.latencies.fp_other} cycles",
+            f"  L1 D-cache             {mem.l1.size // 1024}KB, {mem.l1.assoc}-way",
+            f"  L2 cache               {mem.l2.size // (1024 * 1024)}MB, {mem.l2.assoc}-way",
+            f"  line size              {mem.l1.line_size}B",
+            f"  L1->L2 / L1->mem       {mem.l1_to_l2_latency}/{mem.l1_to_mem_latency} cycles",
+            f"  MSHRs / banks / fill   {mem.mshr_count} / {mem.data_banks} / {mem.fill_time}",
+            f"  memory bandwidth       1 access per {mem.mem_cycles_per_access} cycles",
+        ]
+    return "\n".join(lines)
+
+
+def _table2() -> str:
+    from repro.coherence import METHOD_COSTS, TABLE2_MACHINE, AccessControlMethod
+    machine = TABLE2_MACHINE
+    lines = [
+        "Table 2 — access-control machine and method parameters",
+        f"  processors             {machine.processors}",
+        f"  L1 cache / penalty     {machine.l1_size // 1024}KB / {machine.l1_miss_penalty} cycles",
+        f"  L2 cache / penalty     {machine.l2_size // 1024}KB / {machine.l2_miss_penalty} cycles",
+        f"  coherence unit         {machine.coherence_unit}B",
+        f"  1-way message latency  {machine.message_latency} cycles",
+    ]
+    rc = METHOD_COSTS[AccessControlMethod.REFERENCE_CHECKING]
+    ecc = METHOD_COSTS[AccessControlMethod.ECC]
+    inf = METHOD_COSTS[AccessControlMethod.INFORMING]
+    lines += [
+        f"  reference checking     {rc.lookup}-cycle lookup, "
+        f"{rc.state_change}-cycle state change",
+        f"  ECC                    {ecc.read_invalid_fault}-cycle invalid read, "
+        f"{ecc.write_readonly_page_fault}-cycle readonly-page write",
+        f"  informing              {inf.lookup}-cycle lookup, "
+        f"{inf.state_change}-cycle state change",
+    ]
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.harness",
+                                     description=__doc__)
+    parser.add_argument("experiment", choices=[
+        "figure2", "figure3", "handler100", "branch-vs-exception",
+        "cc-vs-trap", "figure4", "sensitivity", "table1", "table2",
+        "characterize"])
+    parser.add_argument("--quick", action="store_true",
+                        help="4x shorter runs for smoke testing")
+    parser.add_argument("--benchmarks", default=None,
+                        help="comma-separated benchmark subset")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="also write results as JSON "
+                             "(figure2/figure3/figure4)")
+    args = parser.parse_args(argv)
+    sizes = _sizes(args.quick)
+
+    def maybe_export(payload: str) -> None:
+        if args.json:
+            with open(args.json, "w") as fh:
+                fh.write(payload)
+            print(f"results written to {args.json}")
+
+    if args.experiment == "table1":
+        print(_table1())
+    elif args.experiment == "table2":
+        print(_table2())
+    elif args.experiment == "figure2":
+        from repro.harness import export
+        benchmarks = args.benchmarks.split(",") if args.benchmarks else None
+        result = runner.figure2(benchmarks=benchmarks, **sizes)
+        print(report.render_figure(result, "Figure 2 — generic miss handlers"))
+        for note in report.summarize_claims(result):
+            print(note)
+        maybe_export(export.figure_to_json(result))
+    elif args.experiment == "figure3":
+        from repro.harness import export
+        result = runner.figure3(**sizes)
+        print(report.render_figure(result, "Figure 3 — su2cor"))
+        maybe_export(export.figure_to_json(result))
+    elif args.experiment == "handler100":
+        result = runner.handler100(**sizes)
+        print(report.render_figure(
+            result, "100-instruction handlers (paper: compress ~6x, "
+                    "su2cor ~7x, ora ~2%)"))
+    elif args.experiment == "branch-vs-exception":
+        result = runner.branch_vs_exception(**sizes)
+        print(report.render_figure(
+            result, "Branch-like vs exception-like traps "
+                    "(paper: +9%/+7% on compress)"))
+    elif args.experiment == "cc-vs-trap":
+        result = runner.cc_vs_trap(**sizes)
+        print(report.render_figure(
+            result, "Condition-code check vs per-reference MHAR set"))
+    elif args.experiment == "figure4":
+        from repro.harness import export
+        result = coherence_exp.figure4()
+        print(coherence_exp.render_figure4(result))
+        maybe_export(export.figure4_to_json(result))
+    elif args.experiment == "characterize":
+        from repro.workloads import SPEC92, spec92_workload
+        from repro.workloads.characterize import characterize, render_profile
+        names = (args.benchmarks.split(",") if args.benchmarks
+                 else sorted(SPEC92))
+        limit = 10_000 if args.quick else 50_000
+        for name in names:
+            profile = characterize(spec92_workload(name).stream(limit),
+                                   limit=limit)
+            print(render_profile(name, profile))
+            print()
+    elif args.experiment == "sensitivity":
+        points = coherence_exp.sensitivity()
+        print("Sensitivity: comparator-to-informing ratios "
+              "(higher = informing relatively better)")
+        print(f"{'msg latency':>12} {'L1 size':>9} {'ref-check':>10} {'ECC':>8}")
+        for point in points:
+            print(f"{point.message_latency:>12} {point.l1_size // 1024:>8}K "
+                  f"{point.reference_checking:>10.3f} {point.ecc:>8.3f}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,89 @@
+"""Serialise experiment results to JSON/CSV for external analysis.
+
+Every runner result in :mod:`repro.harness.runner` and
+:mod:`repro.harness.coherence_exp` can be exported; files round-trip
+through :func:`load_figure` so experiments can be archived and re-rendered
+without re-simulating.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import List
+
+from repro.harness.coherence_exp import Figure4Result, SensitivityPoint
+from repro.harness.runner import BarResult, FigureResult
+
+_BAR_FIELDS = [
+    "benchmark", "machine", "label", "cycles", "normalized", "busy",
+    "cache_stall", "other_stall", "app_instructions",
+    "handler_instructions", "handler_invocations", "l1_miss_rate",
+]
+
+
+def figure_to_dict(result: FigureResult) -> dict:
+    return {
+        "name": result.name,
+        "bars": [
+            {field: getattr(bar, field) for field in _BAR_FIELDS}
+            for bar in result.bars
+        ],
+    }
+
+
+def figure_to_json(result: FigureResult, indent: int = 2) -> str:
+    return json.dumps(figure_to_dict(result), indent=indent)
+
+
+def load_figure(text: str) -> FigureResult:
+    """Rebuild a FigureResult from :func:`figure_to_json` output."""
+    data = json.loads(text)
+    result = FigureResult(name=data["name"])
+    for row in data["bars"]:
+        extra = {k: v for k, v in row.items() if k != "normalized"}
+        bar = BarResult(**extra)
+        bar.normalized = row.get("normalized", 0.0)
+        result.bars.append(bar)
+    return result
+
+
+def figure_to_csv(result: FigureResult) -> str:
+    output = io.StringIO()
+    writer = csv.DictWriter(output, fieldnames=_BAR_FIELDS)
+    writer.writeheader()
+    for bar in result.bars:
+        writer.writerow({field: getattr(bar, field) for field in _BAR_FIELDS})
+    return output.getvalue()
+
+
+def figure4_to_dict(result: Figure4Result) -> dict:
+    return {
+        "rows": [
+            {
+                "workload": row.workload,
+                "informing_cycles": row.informing_cycles,
+                "reference_checking": row.reference_checking,
+                "ecc": row.ecc,
+            }
+            for row in result.rows
+        ],
+        "mean_reference_checking": result.mean_reference_checking,
+        "mean_ecc": result.mean_ecc,
+    }
+
+
+def figure4_to_json(result: Figure4Result, indent: int = 2) -> str:
+    return json.dumps(figure4_to_dict(result), indent=indent)
+
+
+def sensitivity_to_csv(points: List[SensitivityPoint]) -> str:
+    output = io.StringIO()
+    writer = csv.writer(output)
+    writer.writerow(["message_latency", "l1_size", "reference_checking",
+                     "ecc"])
+    for point in points:
+        writer.writerow([point.message_latency, point.l1_size,
+                         point.reference_checking, point.ecc])
+    return output.getvalue()

@@ -1,0 +1,226 @@
+"""Experiment runners for the paper's figures and quoted results.
+
+Each function regenerates one artifact:
+
+* :func:`figure2` — normalized execution time with 1/10-instruction generic
+  miss handlers (single and unique) over the thirteen Figure 2 benchmarks.
+* :func:`figure3` — the su2cor blow-up (Figure 3).
+* :func:`handler100` — 100-instruction handlers (§4.2.2 text: compress ~6x,
+  su2cor ~7x, ora ~2%).
+* :func:`branch_vs_exception` — branch-like vs exception-like trap handling
+  on the out-of-order machine (§4.2.2: +9% / +7% on compress).
+* :func:`cc_vs_trap` — the condition-code check and the set-MHAR-per-
+  reference trap cost about the same (§2.3).
+
+Results are plain dataclasses; :mod:`repro.harness.report` renders them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.core import (
+    GenericHandler,
+    InformingConfig,
+    Mechanism,
+    TrapStyle,
+    add_cc_checks,
+    add_mhar_sets,
+)
+from repro.harness.configs import MACHINES, MachineSpec, build_core
+from repro.workloads import FIGURE2_BENCHMARKS, spec92_workload
+
+#: Default run sizes: measured application instructions and warm-up.
+DEFAULT_INSTRUCTIONS = 30_000
+DEFAULT_WARMUP = 15_000
+
+
+@dataclass(frozen=True)
+class BarConfig:
+    """One bar of a figure: an informing configuration with a label."""
+
+    label: str
+    informing: Optional[InformingConfig]
+    per_ref_instrumentation: Optional[str] = None  # None | "mhar" | "cc"
+
+    @property
+    def is_baseline(self) -> bool:
+        return self.informing is None
+
+
+def bar_config(label: str) -> BarConfig:
+    """Build a BarConfig from a short label.
+
+    Labels: ``N`` (baseline); ``S<n>``/``U<n>`` — single/unique trap handler
+    of n instructions; ``CC<n>`` — condition-code scheme with n-instruction
+    per-reference handlers; ``E<n>`` — exception-style single trap handler.
+    """
+    if label == "N":
+        return BarConfig("N", None)
+    kind, n = label[0], label.lstrip("SUECX")
+    if label.startswith("CC"):
+        n = int(label[2:])
+        return BarConfig(label, InformingConfig(
+            mechanism=Mechanism.CONDITION_CODE,
+            handler=GenericHandler(n, unique=True)), "cc")
+    n = int(n)
+    if kind == "S":
+        return BarConfig(label, InformingConfig(
+            mechanism=Mechanism.TRAP, handler=GenericHandler(n)))
+    if kind == "U":
+        return BarConfig(label, InformingConfig(
+            mechanism=Mechanism.TRAP, handler=GenericHandler(n, unique=True),
+            unique_handlers=True), "mhar")
+    if kind == "E":
+        return BarConfig(label, InformingConfig(
+            mechanism=Mechanism.TRAP, trap_style=TrapStyle.EXCEPTION_LIKE,
+            handler=GenericHandler(n)))
+    raise ValueError(f"unknown bar label {label!r}")
+
+
+@dataclass
+class BarResult:
+    """Measured outcome of one (benchmark, machine, bar) run."""
+
+    benchmark: str
+    machine: str
+    label: str
+    cycles: int
+    busy: float
+    cache_stall: float
+    other_stall: float
+    app_instructions: int
+    handler_instructions: int
+    handler_invocations: int
+    l1_miss_rate: float
+    normalized: float = 0.0  # filled against the N bar
+
+    @property
+    def instructions(self) -> int:
+        return self.app_instructions + self.handler_instructions
+
+
+def run_bar(
+    benchmark: str,
+    machine_key: str,
+    bar: BarConfig,
+    instructions: int = DEFAULT_INSTRUCTIONS,
+    warmup: int = DEFAULT_WARMUP,
+) -> BarResult:
+    """Run one benchmark/machine/bar combination from scratch."""
+    spec = MACHINES[machine_key]
+    core = build_core(spec, informing=bar.informing)
+    workload = spec92_workload(benchmark)
+    # Generous stream bound: instrumentation and replay never exhaust it.
+    stream = workload.stream(8 * (instructions + warmup) + 100_000)
+    if bar.per_ref_instrumentation == "mhar":
+        stream = add_mhar_sets(stream)
+    elif bar.per_ref_instrumentation == "cc":
+        stream = add_cc_checks(stream)
+    stats = core.run(stream, max_app_insts=instructions + warmup,
+                     warmup_insts=warmup)
+    breakdown = stats.breakdown()
+    return BarResult(
+        benchmark=benchmark,
+        machine=machine_key,
+        label=bar.label,
+        cycles=stats.cycles,
+        busy=breakdown["busy"],
+        cache_stall=breakdown["cache_stall"],
+        other_stall=breakdown["other_stall"],
+        app_instructions=stats.app_instructions,
+        handler_instructions=stats.handler_instructions,
+        handler_invocations=stats.handler_invocations,
+        l1_miss_rate=core.hierarchy.stats.l1_miss_rate,
+    )
+
+
+@dataclass
+class FigureResult:
+    """All bars of one figure, normalized per (benchmark, machine)."""
+
+    name: str
+    bars: List[BarResult] = field(default_factory=list)
+
+    def normalize(self) -> None:
+        baselines: Dict[tuple, int] = {}
+        for bar in self.bars:
+            if bar.label == "N":
+                baselines[(bar.benchmark, bar.machine)] = bar.cycles
+        for bar in self.bars:
+            base = baselines.get((bar.benchmark, bar.machine))
+            if base:
+                bar.normalized = bar.cycles / base
+
+    def get(self, benchmark: str, machine: str, label: str) -> BarResult:
+        for bar in self.bars:
+            if (bar.benchmark == benchmark and bar.machine == machine
+                    and bar.label == label):
+                return bar
+        raise KeyError((benchmark, machine, label))
+
+
+def run_figure(
+    name: str,
+    benchmarks: Iterable[str],
+    machines: Sequence[str],
+    labels: Sequence[str],
+    instructions: int = DEFAULT_INSTRUCTIONS,
+    warmup: int = DEFAULT_WARMUP,
+) -> FigureResult:
+    """Run a full bars × benchmarks × machines grid and normalize."""
+    result = FigureResult(name=name)
+    for benchmark in benchmarks:
+        for machine in machines:
+            for label in labels:
+                result.bars.append(run_bar(
+                    benchmark, machine, bar_config(label),
+                    instructions, warmup))
+    result.normalize()
+    return result
+
+
+def figure2(instructions: int = DEFAULT_INSTRUCTIONS,
+            warmup: int = DEFAULT_WARMUP,
+            benchmarks: Optional[Sequence[str]] = None) -> FigureResult:
+    """Figure 2: N/S1/U1/S10/U10 on both machines, thirteen benchmarks."""
+    return run_figure(
+        "figure2", benchmarks or FIGURE2_BENCHMARKS, ["ooo", "inorder"],
+        ["N", "S1", "U1", "S10", "U10"], instructions, warmup)
+
+
+def figure3(instructions: int = DEFAULT_INSTRUCTIONS,
+            warmup: int = DEFAULT_WARMUP) -> FigureResult:
+    """Figure 3: su2cor, which needs its own y-axis."""
+    return run_figure("figure3", ["su2cor"], ["ooo", "inorder"],
+                      ["N", "S1", "U1", "S10", "U10"], instructions, warmup)
+
+
+def handler100(instructions: int = DEFAULT_INSTRUCTIONS,
+               warmup: int = DEFAULT_WARMUP,
+               benchmarks: Sequence[str] = ("compress", "su2cor", "ora"),
+               ) -> FigureResult:
+    """§4.2.2: 100-instruction handlers on the miss-heavy and miss-free ends.
+
+    The paper reports these for the in-order model: compress ~6x slower,
+    su2cor ~7x slower, ora ~2% overhead.
+    """
+    return run_figure("handler100", benchmarks, ["inorder"],
+                      ["N", "S100"], instructions, warmup)
+
+
+def branch_vs_exception(instructions: int = DEFAULT_INSTRUCTIONS,
+                        warmup: int = DEFAULT_WARMUP,
+                        benchmark: str = "compress") -> FigureResult:
+    """§4.2.2/§3.2: exception-style traps cost ~7-9% extra on compress."""
+    return run_figure("branch_vs_exception", [benchmark], ["ooo"],
+                      ["N", "S1", "E1", "S10", "E10"], instructions, warmup)
+
+
+def cc_vs_trap(instructions: int = DEFAULT_INSTRUCTIONS,
+               warmup: int = DEFAULT_WARMUP,
+               benchmark: str = "compress") -> FigureResult:
+    """§2.3: the CC check and set-MHAR-per-reference cost about the same."""
+    return run_figure("cc_vs_trap", [benchmark], ["ooo", "inorder"],
+                      ["N", "CC1", "U1"], instructions, warmup)

@@ -1,0 +1,5 @@
+"""In-order-issue superscalar core modelled on the Alpha 21164 (Section 3.1)."""
+
+from repro.inorder.core import InOrderCore
+
+__all__ = ["InOrderCore"]

@@ -1,0 +1,314 @@
+"""Cycle-level in-order 4-wide superscalar timing model (Alpha 21164-like).
+
+The stall model follows the 21164 as Section 3.1 describes: register
+dependences are resolved before issue (presence bits), issue is strictly in
+program order, and situations that invalidate already-issued younger
+instructions are handled with a *replay trap* — flush and re-issue.  The
+informing trap reuses exactly that mechanism: a primary-cache miss by an
+informing reference flushes the younger pipeline contents, redirects fetch
+to the miss handler, and replays the squashed instructions after the
+handler's MHRR jump.  The condition-code scheme instead resolves an explicit
+BLMISS check, predicted not-taken, so only the miss case pays the redirect.
+
+Memory operations are non-blocking: a load miss does not stall issue until
+an instruction needs the data (scoreboard readiness) or, when informing is
+active, until the replay trap fires.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterable, Optional, Tuple
+
+from repro.branch import TwoBitCounterPredictor
+from repro.core.engine import InformingEngine
+from repro.core.mechanisms import InformingConfig, Mechanism
+from repro.isa.instructions import DynInst
+from repro.isa.opclass import FU_FOR_OP, OpClass
+from repro.isa.registers import NUM_REGS, REG_ZERO
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.pipeline import CoreConfig, FUPool, GraduationStats, StreamStack
+
+#: Cycles after issue at which a reference's hit/miss outcome is known
+#: (the 21164 detects the miss at the tag check, two stages after issue).
+TAG_CHECK_DELAY = 2
+
+#: Instruction classes that are informing/optimization overhead rather than
+#: application work: per-reference instrumentation inserted by
+#: repro.core.instrumentation, and non-binding prefetches planted by the
+#: software prefetching clients.
+_OVERHEAD_OPS = (OpClass.MHAR_SET, OpClass.BLMISS, OpClass.PREFETCH)
+
+
+class _InFlight:
+    """One issued-but-not-committed instruction."""
+
+    __slots__ = ("inst", "point", "seq", "complete_cycle", "was_miss",
+                 "mshr_id")
+
+    def __init__(self, inst: DynInst, point, seq: int, complete_cycle: int,
+                 was_miss: bool = False, mshr_id: Optional[int] = None) -> None:
+        self.inst = inst
+        self.point = point
+        self.seq = seq
+        self.complete_cycle = complete_cycle
+        self.was_miss = was_miss
+        self.mshr_id = mshr_id
+
+
+class InOrderCore:
+    """The in-order machine model of Table 1.
+
+    Args:
+        config: pipeline parameters (use ``mem_units=0`` for the 21164-style
+            memory-through-integer-pipes arrangement).
+        hierarchy: the memory hierarchy (owns all cache state and timing).
+        informing: informing-operation configuration; defaults to none.
+        observer: optional Python hook invoked per handler invocation.
+    """
+
+    def __init__(
+        self,
+        config: CoreConfig,
+        hierarchy: MemoryHierarchy,
+        informing: Optional[InformingConfig] = None,
+        observer=None,
+    ) -> None:
+        self.config = config
+        self.hierarchy = hierarchy
+        self.engine = InformingEngine(informing or InformingConfig(), observer)
+        self.predictor = TwoBitCounterPredictor(config.predictor_entries)
+        self.stats = GraduationStats(width=config.issue_width)
+
+    def run(self, stream: Iterable[DynInst],
+            max_app_insts: Optional[int] = None,
+            warmup_insts: int = 0) -> GraduationStats:
+        """Simulate *stream* to completion; return graduation statistics.
+
+        ``max_app_insts`` bounds the number of committed *application*
+        instructions (handler bodies and per-reference instrumentation are
+        excluded from the count), so informing and baseline runs execute
+        identical application work.  ``warmup_insts`` runs that many
+        application instructions first and then resets every statistic —
+        cache contents stay warm, so the measured region reflects steady
+        state rather than cold-start compulsory misses.  ``max_app_insts``
+        counts warm-up and measured instructions together.
+        """
+        config = self.config
+        engine = self.engine
+        hierarchy = self.hierarchy
+        width = config.issue_width
+        stack = StreamStack(stream)
+        stats = self.stats
+        fu = FUPool(config)
+        reg_ready = [0] * NUM_REGS
+        inflight: Deque[_InFlight] = deque()
+        fetch_queue: Deque[Tuple[DynInst, object]] = deque()
+        max_fetch_queue = 2 * width
+        fetch_blocked_until = 0
+        last_fetch_line = -1
+        # Armed informing trap:
+        # (fire_cycle, squash-point entry, missing ref, mshr id).
+        pending_trap: Optional[Tuple[int, _InFlight, DynInst, Optional[int]]] = None
+        # Condition-code state: outcome of the most recent memory reference.
+        cc_outcome_cycle = 0
+        cc_missed_ref: Optional[DynInst] = None
+        cc_missed_mshr: Optional[int] = None
+        cycle = 0
+        seq = 0
+        app_committed = 0
+        stream_done = False
+        is_cc = engine.mechanism is Mechanism.CONDITION_CODE
+        is_trap = engine.mechanism is Mechanism.TRAP
+
+        while True:
+            # ---- informing replay trap fires ------------------------------
+            if pending_trap is not None and cycle >= pending_trap[0]:
+                _fire, trap_entry, missed_ref, trap_mshr = pending_trap
+                pending_trap = None
+                body = engine.on_miss(missed_ref)
+                if body is not None:
+                    if trap_mshr is not None:
+                        hierarchy.mark_informed(trap_mshr)
+                    while inflight and inflight[-1].seq > trap_entry.seq:
+                        victim = inflight.pop()
+                        self._release_mshr(victim, squashed=True)
+                    fetch_queue.clear()
+                    stack.rewind_after(trap_entry.point)
+                    stack.push_handler(body)
+                    fetch_blocked_until = max(
+                        fetch_blocked_until, cycle + config.mispredict_penalty)
+                    stats.informing_mispredicts += 1
+                    stats.handler_invocations += 1
+                    last_fetch_line = -1
+                    cc_missed_ref = None
+                    stream_done = False
+
+            # ---- commit ----------------------------------------------------
+            committed = 0
+            while (inflight and committed < width
+                   and inflight[0].complete_cycle <= cycle):
+                entry = inflight.popleft()
+                self._release_mshr(entry, squashed=False)
+                stack.committed(entry.point)
+                inst = entry.inst
+                if inst.handler_code or inst.op in _OVERHEAD_OPS:
+                    stats.handler_instructions += 1
+                else:
+                    stats.app_instructions += 1
+                    app_committed += 1
+                    if app_committed == warmup_insts:
+                        stats = self._reset_stats()
+                committed += 1
+            cache_blame = bool(
+                inflight and inflight[0].was_miss
+                and inflight[0].complete_cycle > cycle)
+            stats.record_cycle(committed, cache_blame)
+
+            if max_app_insts is not None and app_committed >= max_app_insts:
+                break
+            if (stream_done and not inflight and not fetch_queue
+                    and pending_trap is None):
+                break
+
+            # ---- fetch ----------------------------------------------------
+            if cycle >= fetch_blocked_until:
+                while len(fetch_queue) < max_fetch_queue:
+                    item = stack.fetch()
+                    if item is None:
+                        stream_done = True
+                        break
+                    inst, point = item
+                    line = inst.pc >> 5
+                    if line != last_fetch_line:
+                        ready = hierarchy.ifetch(inst.pc, cycle)
+                        last_fetch_line = line
+                        if ready > cycle:
+                            # I-cache miss: replay this fetch when ready.
+                            stack.rewind_to(point)
+                            fetch_blocked_until = ready
+                            last_fetch_line = -1
+                            break
+                    fetch_queue.append((inst, point))
+
+            # ---- issue (strictly in order, up to width) --------------------
+            fu.new_cycle()
+            issued = 0
+            while fetch_queue and issued < width:
+                inst, point = fetch_queue[0]
+                op = inst.op
+                ready = True
+                for src in inst.srcs:
+                    if src != REG_ZERO and reg_ready[src] > cycle:
+                        ready = False
+                        break
+                if not ready:
+                    break
+                if not fu.try_take(FU_FOR_OP[op]):
+                    break
+                fetch_queue.popleft()
+                issued += 1
+                seq += 1
+
+                if op in (OpClass.LOAD, OpClass.STORE, OpClass.PREFETCH):
+                    result = hierarchy.access(
+                        inst.addr, inst.is_store, cycle,
+                        prefetch=op is OpClass.PREFETCH)
+                    if result is None:
+                        if op is OpClass.PREFETCH:
+                            inflight.append(
+                                _InFlight(inst, point, seq, cycle + 1))
+                            continue
+                        # MSHR full: structural stall; retry next cycle.
+                        fetch_queue.appendleft((inst, point))
+                        issued -= 1
+                        seq -= 1
+                        break
+                    if op is OpClass.LOAD:
+                        complete = result.ready_cycle
+                        if inst.dest is not None and inst.dest != REG_ZERO:
+                            reg_ready[inst.dest] = complete
+                    else:
+                        # Stores retire into the write buffer; a
+                        # write-allocate miss fetch proceeds in background.
+                        complete = cycle + 1
+                    entry = _InFlight(inst, point, seq, complete,
+                                      was_miss=result.l1_miss,
+                                      mshr_id=result.mshr_id)
+                    inflight.append(entry)
+                    # Informing fires once per line fetch: a primary miss
+                    # arms the trap, and a merged reference re-arms only if
+                    # the fetch it joined was never informed (its trigger
+                    # was squashed first).  See AccessResult.needs_inform.
+                    if op is not OpClass.PREFETCH and not inst.handler_code:
+                        cc_outcome_cycle = cycle + TAG_CHECK_DELAY
+                        if result.needs_inform:
+                            cc_missed_ref = inst
+                            cc_missed_mshr = result.mshr_id
+                        else:
+                            cc_missed_ref = None
+                        if (is_trap and result.needs_inform
+                                and pending_trap is None
+                                and engine.wants(inst)):
+                            pending_trap = (cycle + TAG_CHECK_DELAY, entry,
+                                            inst, result.mshr_id)
+                            # The op may not commit before its replay trap
+                            # fires, or the squash point would be stale.
+                            entry.complete_cycle = max(
+                                entry.complete_cycle,
+                                cycle + TAG_CHECK_DELAY)
+                    continue
+
+                complete = cycle + config.latencies.latency_of(op)
+                entry = _InFlight(inst, point, seq, complete)
+                inflight.append(entry)
+                if inst.dest is not None and inst.dest != REG_ZERO:
+                    reg_ready[inst.dest] = complete
+
+                if op is OpClass.BRANCH:
+                    predicted = self.predictor.predict(inst.pc)
+                    self.predictor.update(inst.pc, inst.taken)
+                    if predicted != inst.taken:
+                        self.predictor.record_mispredict()
+                        stats.branch_mispredicts += 1
+                        fetch_blocked_until = max(
+                            fetch_blocked_until,
+                            complete + config.mispredict_penalty)
+                    elif inst.taken:
+                        # Correctly-predicted taken branch: one fetch bubble.
+                        fetch_blocked_until = max(fetch_blocked_until,
+                                                  cycle + 1)
+                elif op is OpClass.BLMISS:
+                    # Explicit check, predicted not-taken, so it issues
+                    # without waiting for the condition code: free on a
+                    # hit; a miss resolves like a mispredicted branch once
+                    # the tag check completes.
+                    if (is_cc and cc_missed_ref is not None
+                            and pending_trap is None
+                            and engine.wants(cc_missed_ref)):
+                        fire = max(cycle + 1, cc_outcome_cycle)
+                        pending_trap = (fire, entry, cc_missed_ref,
+                                        cc_missed_mshr)
+                        # The check may not commit before it resolves, or
+                        # the squash point would go stale.
+                        entry.complete_cycle = max(entry.complete_cycle, fire)
+                    cc_missed_ref = None
+
+            cycle += 1
+
+        return stats
+
+    def _reset_stats(self) -> GraduationStats:
+        """End of warm-up: fresh counters, warm caches."""
+        from repro.memory.stats import MemStats
+        self.stats = GraduationStats(width=self.config.issue_width)
+        self.hierarchy.stats = MemStats()
+        self.hierarchy.i_accesses = 0
+        self.hierarchy.i_misses = 0
+        self.engine.invocations = 0
+        self.engine.injected_instructions = 0
+        return self.stats
+
+    def _release_mshr(self, entry: _InFlight, squashed: bool) -> None:
+        if entry.mshr_id is not None and self.hierarchy.mshrs.extended_lifetime:
+            self.hierarchy.release_mshr(entry.mshr_id, squashed)

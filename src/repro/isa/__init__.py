@@ -1,0 +1,78 @@
+"""Instruction-set substrate for the informing-memory-operations simulators.
+
+The simulators in :mod:`repro.inorder` and :mod:`repro.ooo` are trace driven:
+they consume streams of :class:`~repro.isa.instructions.DynInst` records.
+This package defines the op classes, the dynamic-instruction record, a small
+static-program representation with an assembler, and a functional interpreter
+that turns static programs into dynamic traces (used by the examples and the
+application-level tests).
+"""
+
+from repro.isa.opclass import OpClass, FUKind, FU_FOR_OP, is_mem_op
+from repro.isa.instructions import (
+    DynInst,
+    alu,
+    branch,
+    fp_op,
+    load,
+    mhar_set,
+    mhrr_jump,
+    nop,
+    prefetch,
+    store,
+)
+from repro.isa.registers import (
+    NUM_INT_REGS,
+    NUM_FP_REGS,
+    NUM_REGS,
+    REG_ZERO,
+    RegisterAllocator,
+    fp_reg,
+    int_reg,
+)
+from repro.isa.program import Instruction, Label, Program
+from repro.isa.assembler import AssemblyError, assemble
+from repro.isa.interp import Interpreter, TraceLimitExceeded
+from repro.isa.tracefile import (
+    TraceFormatError,
+    load_trace,
+    read_trace,
+    save_trace,
+    write_trace,
+)
+
+__all__ = [
+    "OpClass",
+    "FUKind",
+    "FU_FOR_OP",
+    "is_mem_op",
+    "DynInst",
+    "alu",
+    "branch",
+    "fp_op",
+    "load",
+    "mhar_set",
+    "mhrr_jump",
+    "nop",
+    "prefetch",
+    "store",
+    "NUM_INT_REGS",
+    "NUM_FP_REGS",
+    "NUM_REGS",
+    "REG_ZERO",
+    "RegisterAllocator",
+    "fp_reg",
+    "int_reg",
+    "Instruction",
+    "Label",
+    "Program",
+    "AssemblyError",
+    "assemble",
+    "Interpreter",
+    "TraceLimitExceeded",
+    "TraceFormatError",
+    "save_trace",
+    "load_trace",
+    "read_trace",
+    "write_trace",
+]

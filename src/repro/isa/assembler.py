@@ -1,0 +1,123 @@
+"""A tiny text assembler for :class:`~repro.isa.program.Program`.
+
+Syntax, one statement per line::
+
+    # comment
+    loop:                     ; label
+        li   r1, 100
+        ld   r2, 8(r1)        ; memory operand: offset(base)
+        fadd f2, f2, f1       ; f-names map to the fp register file
+        addi r1, r1, 4
+        bne  r1, r3, loop
+        halt
+
+Registers are written ``r0``..``r31`` and ``f0``..``f31``.  Immediates may
+be decimal or ``0x`` hex.  The assembler is deliberately small: it exists so
+examples and tests read like programs rather than object graphs.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Tuple, Union
+
+from repro.isa.program import MNEMONICS, Instruction, Label, Program
+from repro.isa.registers import NUM_FP_REGS, NUM_INT_REGS, fp_reg, int_reg
+
+
+class AssemblyError(ValueError):
+    """Raised for any syntax or operand error, with a line number."""
+
+
+_MEM_RE = re.compile(r"^(-?(?:0x[0-9a-fA-F]+|\d+))\((r\d+|f\d+)\)$")
+_LABEL_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_]*):$")
+
+
+def _parse_reg(tok: str, lineno: int) -> int:
+    match = re.fullmatch(r"([rf])(\d+)", tok)
+    if not match:
+        raise AssemblyError(f"line {lineno}: expected register, got {tok!r}")
+    kind, idx = match.group(1), int(match.group(2))
+    try:
+        return int_reg(idx) if kind == "r" else fp_reg(idx)
+    except ValueError as exc:
+        raise AssemblyError(f"line {lineno}: {exc}") from None
+
+
+def _parse_imm(tok: str, lineno: int) -> int:
+    try:
+        return int(tok, 0)
+    except ValueError:
+        raise AssemblyError(
+            f"line {lineno}: expected immediate, got {tok!r}"
+        ) from None
+
+
+def _parse_operand(shape: str, tok: str, lineno: int
+                   ) -> Union[int, str, Tuple[int, int]]:
+    if shape == "r":
+        return _parse_reg(tok, lineno)
+    if shape == "i":
+        return _parse_imm(tok, lineno)
+    if shape == "l":
+        return tok
+    if shape == "m":
+        match = _MEM_RE.match(tok)
+        if not match:
+            raise AssemblyError(
+                f"line {lineno}: expected offset(base), got {tok!r}"
+            )
+        offset = int(match.group(1), 0)
+        base = _parse_reg(match.group(2), lineno)
+        return (offset, base)
+    raise AssemblyError(f"line {lineno}: bad operand shape {shape!r}")
+
+
+def assemble(text: str, base_pc: int = 0x1000) -> Program:
+    """Assemble *text* into a :class:`Program`.
+
+    Raises :class:`AssemblyError` on any malformed line or undefined label
+    (labels are checked eagerly so errors surface at build time, not when
+    the interpreter reaches the branch).
+    """
+    program = Program(base_pc=base_pc)
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].split(";", 1)[0].strip()
+        if not line:
+            continue
+        label_match = _LABEL_RE.match(line)
+        if label_match:
+            try:
+                program.append(Label(label_match.group(1)))
+            except ValueError as exc:
+                raise AssemblyError(f"line {lineno}: {exc}") from None
+            continue
+        parts = line.split(None, 1)
+        mnemonic = parts[0]
+        if mnemonic not in MNEMONICS:
+            raise AssemblyError(f"line {lineno}: unknown mnemonic {mnemonic!r}")
+        shapes = MNEMONICS[mnemonic]
+        tokens = [t.strip() for t in parts[1].split(",")] if len(parts) > 1 else []
+        if len(tokens) != len(shapes):
+            raise AssemblyError(
+                f"line {lineno}: {mnemonic} expects {len(shapes)} operands, "
+                f"got {len(tokens)}"
+            )
+        operands = tuple(
+            _parse_operand(shape, tok, lineno)
+            for shape, tok in zip(shapes, tokens)
+        )
+        program.append(Instruction(mnemonic, operands))
+
+    for label in _referenced_labels(program):
+        if label not in program.labels:
+            raise AssemblyError(f"undefined label: {label!r}")
+    return program
+
+
+def _referenced_labels(program: Program):
+    for inst in program.instructions:
+        shapes = MNEMONICS[inst.mnemonic]
+        for shape, operand in zip(shapes, inst.operands):
+            if shape == "l":
+                yield operand

@@ -1,0 +1,139 @@
+"""Dynamic instruction records.
+
+A :class:`DynInst` is one executed instruction in a dynamic trace: its op
+class, architectural register operands, effective address (for memory ops),
+and resolved branch outcome (for control ops).  ``DynInst`` objects are
+immutable in spirit: the cores never mutate them, so a squashed instruction
+can be re-fetched (replayed) after a miss handler returns — the
+branch-and-link semantics of an informing operation.
+
+The module-level helper constructors (:func:`load`, :func:`alu`, ...) are the
+recommended way to build instructions; they fill in sensible defaults and
+validate operand shapes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.isa.opclass import OpClass, is_mem_op
+
+
+class DynInst:
+    """One dynamic instruction.
+
+    Attributes:
+        op: the :class:`~repro.isa.opclass.OpClass`.
+        dest: destination register id, or None.
+        srcs: tuple of source register ids (zero register entries are
+            ignored by the dependence trackers).
+        addr: effective byte address for memory ops, else None.
+        taken: resolved outcome for conditional branches, else None.
+        pc: static instruction address.  Distinct static references have
+            distinct pcs; the profiling and unique-handler machinery keys
+            on this.
+        informing: True if a miss on this memory op should invoke the
+            informing mechanism.  Ignored for non-memory ops.
+        handler_code: marker set by the handler-injection engine so that
+            statistics can separate application and handler instructions.
+    """
+
+    __slots__ = ("op", "dest", "srcs", "addr", "taken", "pc", "informing",
+                 "handler_code")
+
+    def __init__(
+        self,
+        op: OpClass,
+        dest: Optional[int] = None,
+        srcs: Tuple[int, ...] = (),
+        addr: Optional[int] = None,
+        taken: Optional[bool] = None,
+        pc: int = 0,
+        informing: bool = True,
+        handler_code: bool = False,
+    ) -> None:
+        if is_mem_op(op) and addr is None:
+            raise ValueError(f"{op} requires an effective address")
+        if op is OpClass.BRANCH and taken is None:
+            raise ValueError("conditional branch requires a resolved outcome")
+        self.op = op
+        self.dest = dest
+        self.srcs = srcs
+        self.addr = addr
+        self.taken = taken
+        self.pc = pc
+        self.informing = informing
+        self.handler_code = handler_code
+
+    @property
+    def is_mem(self) -> bool:
+        """True if this instruction accesses the data cache."""
+        return is_mem_op(self.op)
+
+    @property
+    def is_store(self) -> bool:
+        return self.op is OpClass.STORE
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        parts = [self.op.name, f"pc={self.pc:#x}"]
+        if self.dest is not None:
+            parts.append(f"d=r{self.dest}")
+        if self.srcs:
+            parts.append("s=" + ",".join(f"r{s}" for s in self.srcs))
+        if self.addr is not None:
+            parts.append(f"a={self.addr:#x}")
+        if self.taken is not None:
+            parts.append("T" if self.taken else "NT")
+        if self.handler_code:
+            parts.append("H")
+        return "<" + " ".join(parts) + ">"
+
+
+def load(addr: int, dest: int, srcs: Tuple[int, ...] = (), pc: int = 0,
+         informing: bool = True) -> DynInst:
+    """Build a LOAD of *addr* into register *dest*."""
+    return DynInst(OpClass.LOAD, dest=dest, srcs=srcs, addr=addr, pc=pc,
+                   informing=informing)
+
+
+def store(addr: int, srcs: Tuple[int, ...] = (), pc: int = 0,
+          informing: bool = True) -> DynInst:
+    """Build a STORE to *addr* whose data/base registers are *srcs*."""
+    return DynInst(OpClass.STORE, srcs=srcs, addr=addr, pc=pc,
+                   informing=informing)
+
+
+def prefetch(addr: int, pc: int = 0) -> DynInst:
+    """Build a non-binding PREFETCH of *addr* (never informs)."""
+    return DynInst(OpClass.PREFETCH, addr=addr, pc=pc, informing=False)
+
+
+def alu(dest: int, srcs: Tuple[int, ...] = (), pc: int = 0,
+        op: OpClass = OpClass.IALU) -> DynInst:
+    """Build an integer op (default 1-cycle IALU)."""
+    return DynInst(op, dest=dest, srcs=srcs, pc=pc)
+
+
+def fp_op(dest: int, srcs: Tuple[int, ...] = (), pc: int = 0,
+          op: OpClass = OpClass.FP) -> DynInst:
+    """Build a floating-point op (default the generic 'all other FP' class)."""
+    return DynInst(op, dest=dest, srcs=srcs, pc=pc)
+
+
+def branch(taken: bool, srcs: Tuple[int, ...] = (), pc: int = 0) -> DynInst:
+    """Build a conditional branch with resolved outcome *taken*."""
+    return DynInst(OpClass.BRANCH, srcs=srcs, taken=taken, pc=pc)
+
+
+def mhar_set(pc: int = 0, srcs: Tuple[int, ...] = ()) -> DynInst:
+    """Build the set-miss-handler-address instruction (one issue slot)."""
+    return DynInst(OpClass.MHAR_SET, srcs=srcs, pc=pc)
+
+
+def mhrr_jump(pc: int = 0) -> DynInst:
+    """Build the jump-to-miss-handler-return-register instruction."""
+    return DynInst(OpClass.MHRR_JUMP, pc=pc, handler_code=True)
+
+
+def nop(pc: int = 0) -> DynInst:
+    return DynInst(OpClass.NOP, pc=pc)

@@ -1,0 +1,202 @@
+"""Functional interpreter: static :class:`Program` → dynamic trace.
+
+The interpreter executes a program architecturally (register values, a
+sparse word-addressed memory, real branch outcomes) and yields one
+:class:`~repro.isa.instructions.DynInst` per executed instruction.  The
+timing simulators then replay that trace.  This split — functional first,
+timing second — is the classic trace-driven structure the paper's own
+evaluation used.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from repro.isa.instructions import DynInst
+from repro.isa.opclass import OpClass
+from repro.isa.program import MNEMONICS, Program
+from repro.isa.registers import NUM_REGS, REG_ZERO
+
+_ALU_MNEMONICS = {
+    "li", "mv", "add", "addi", "sub", "and", "or", "xor", "sll", "srl", "slt",
+}
+_FP_MNEMONICS = {"fadd", "fsub", "fmul"}
+_BRANCH_MNEMONICS = {"beq", "bne", "blt", "bge"}
+
+
+class TraceLimitExceeded(RuntimeError):
+    """Raised when a program executes past ``max_insts`` without halting."""
+
+
+class Interpreter:
+    """Architectural executor for small programs.
+
+    Args:
+        program: the assembled program.
+        memory: optional initial memory image (byte address → value).
+        informing: whether the emitted memory ops are informing.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        memory: Optional[Dict[int, float]] = None,
+        informing: bool = True,
+    ) -> None:
+        self.program = program
+        self.regs: List[float] = [0] * NUM_REGS
+        self.memory: Dict[int, float] = dict(memory) if memory else {}
+        self.informing = informing
+        self.executed = 0
+
+    # -- register helpers -------------------------------------------------
+    def _read(self, reg: int) -> float:
+        return 0 if reg == REG_ZERO else self.regs[reg]
+
+    def _write(self, reg: int, value: float) -> None:
+        if reg != REG_ZERO:
+            self.regs[reg] = value
+
+    # -- execution ---------------------------------------------------------
+    def run(self, max_insts: int = 1_000_000) -> Iterator[DynInst]:
+        """Execute until ``halt`` (or end of program), yielding DynInsts.
+
+        Raises :class:`TraceLimitExceeded` if *max_insts* instructions
+        execute without reaching a halt — the guard that turns an
+        accidentally-infinite example loop into a test failure rather
+        than a hang.
+        """
+        index = 0
+        program = self.program
+        while 0 <= index < len(program.instructions):
+            if self.executed >= max_insts:
+                raise TraceLimitExceeded(
+                    f"program executed {self.executed} instructions without halting"
+                )
+            inst = program.instructions[index]
+            pc = program.pc_of(index)
+            mnemonic = inst.mnemonic
+            ops = inst.operands
+
+            if mnemonic == "halt":
+                return
+            self.executed += 1
+
+            if mnemonic in _ALU_MNEMONICS:
+                index += 1
+                yield self._exec_alu(mnemonic, ops, pc)
+            elif mnemonic in ("mul", "div"):
+                index += 1
+                yield self._exec_muldiv(mnemonic, ops, pc)
+            elif mnemonic in _FP_MNEMONICS or mnemonic in ("fdiv", "fsqrt"):
+                index += 1
+                yield self._exec_fp(mnemonic, ops, pc)
+            elif mnemonic == "ld":
+                index += 1
+                dest, (offset, base) = ops
+                addr = int(self._read(base)) + offset
+                self._write(dest, self.memory.get(addr, 0))
+                yield DynInst(OpClass.LOAD, dest=dest, srcs=(base,),
+                              addr=addr, pc=pc, informing=self.informing)
+            elif mnemonic == "st":
+                index += 1
+                src, (offset, base) = ops
+                addr = int(self._read(base)) + offset
+                self.memory[addr] = self._read(src)
+                yield DynInst(OpClass.STORE, srcs=(src, base), addr=addr,
+                              pc=pc, informing=self.informing)
+            elif mnemonic == "prefetch":
+                index += 1
+                (offset, base), = ops
+                addr = int(self._read(base)) + offset
+                yield DynInst(OpClass.PREFETCH, addr=addr, srcs=(base,),
+                              pc=pc, informing=False)
+            elif mnemonic in _BRANCH_MNEMONICS:
+                rs, rt, label = ops
+                taken = self._branch_taken(mnemonic, rs, rt)
+                yield DynInst(OpClass.BRANCH, srcs=(rs, rt), taken=taken, pc=pc)
+                index = program.target_index(label) if taken else index + 1
+            elif mnemonic == "j":
+                (label,) = ops
+                yield DynInst(OpClass.JUMP, pc=pc)
+                index = program.target_index(label)
+            elif mnemonic == "nop":
+                index += 1
+                yield DynInst(OpClass.NOP, pc=pc)
+            else:  # pragma: no cover - MNEMONICS and handlers kept in sync
+                raise AssertionError(f"unhandled mnemonic {mnemonic!r}")
+
+    def trace(self, max_insts: int = 1_000_000) -> List[DynInst]:
+        """Run to completion and return the whole dynamic trace as a list."""
+        return list(self.run(max_insts))
+
+    # -- per-class helpers ---------------------------------------------------
+    def _exec_alu(self, mnemonic, ops, pc) -> DynInst:
+        if mnemonic == "li":
+            dest, imm = ops
+            self._write(dest, imm)
+            return DynInst(OpClass.IALU, dest=dest, pc=pc)
+        if mnemonic == "mv":
+            dest, src = ops
+            self._write(dest, self._read(src))
+            return DynInst(OpClass.IALU, dest=dest, srcs=(src,), pc=pc)
+        if mnemonic == "addi":
+            dest, src, imm = ops
+            self._write(dest, int(self._read(src)) + imm)
+            return DynInst(OpClass.IALU, dest=dest, srcs=(src,), pc=pc)
+        if mnemonic in ("sll", "srl"):
+            dest, src, imm = ops
+            value = int(self._read(src))
+            self._write(dest, value << imm if mnemonic == "sll" else value >> imm)
+            return DynInst(OpClass.IALU, dest=dest, srcs=(src,), pc=pc)
+        dest, rs, rt = ops
+        a, b = int(self._read(rs)), int(self._read(rt))
+        result = {
+            "add": a + b,
+            "sub": a - b,
+            "and": a & b,
+            "or": a | b,
+            "xor": a ^ b,
+            "slt": int(a < b),
+        }[mnemonic]
+        self._write(dest, result)
+        return DynInst(OpClass.IALU, dest=dest, srcs=(rs, rt), pc=pc)
+
+    def _exec_muldiv(self, mnemonic, ops, pc) -> DynInst:
+        dest, rs, rt = ops
+        a, b = int(self._read(rs)), int(self._read(rt))
+        if mnemonic == "mul":
+            self._write(dest, a * b)
+            op = OpClass.IMUL
+        else:
+            self._write(dest, a // b if b else 0)
+            op = OpClass.IDIV
+        return DynInst(op, dest=dest, srcs=(rs, rt), pc=pc)
+
+    def _exec_fp(self, mnemonic, ops, pc) -> DynInst:
+        if mnemonic == "fsqrt":
+            dest, src = ops
+            value = self._read(src)
+            self._write(dest, value ** 0.5 if value >= 0 else 0.0)
+            return DynInst(OpClass.FSQRT, dest=dest, srcs=(src,), pc=pc)
+        dest, rs, rt = ops
+        a, b = self._read(rs), self._read(rt)
+        if mnemonic == "fadd":
+            result, op = a + b, OpClass.FP
+        elif mnemonic == "fsub":
+            result, op = a - b, OpClass.FP
+        elif mnemonic == "fmul":
+            result, op = a * b, OpClass.FP
+        else:  # fdiv
+            result, op = (a / b if b else 0.0), OpClass.FDIV
+        self._write(dest, result)
+        return DynInst(op, dest=dest, srcs=(rs, rt), pc=pc)
+
+    def _branch_taken(self, mnemonic: str, rs: int, rt: int) -> bool:
+        a, b = self._read(rs), self._read(rt)
+        return {
+            "beq": a == b,
+            "bne": a != b,
+            "blt": a < b,
+            "bge": a >= b,
+        }[mnemonic]

@@ -1,0 +1,83 @@
+"""Operation classes and functional-unit kinds.
+
+The op classes follow the granularity of Table 1 in the paper: integer ALU,
+integer multiply/divide, FP divide/square-root, "all other FP", memory
+operations, and control transfers.  Informing-specific operations
+(``MHAR_SET``, ``MHRR_JUMP``, ``BLMISS``) are first-class op classes so the
+instrumentation adapters in :mod:`repro.core` can insert them into any
+stream.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class OpClass(enum.Enum):
+    """Dynamic-instruction operation class."""
+
+    IALU = "ialu"          # 1-cycle integer op (add, logical, shift, compare)
+    IMUL = "imul"          # integer multiply
+    IDIV = "idiv"          # integer divide
+    FP = "fp"              # "all other FP" in Table 1 (add/mul/convert)
+    FDIV = "fdiv"          # FP divide
+    FSQRT = "fsqrt"        # FP square root
+    LOAD = "load"          # data-cache read
+    STORE = "store"        # data-cache write
+    PREFETCH = "prefetch"  # non-binding cache fill hint
+    BRANCH = "branch"      # conditional branch (predicted, has outcome)
+    JUMP = "jump"          # unconditional direct jump / call
+    MHAR_SET = "mhar_set"  # load the Miss Handler Address Register
+    MHRR_JUMP = "mhrr_jump"  # jump to the Miss Handler Return Register
+    BLMISS = "blmiss"      # branch-and-link-if-miss (condition-code scheme)
+    NOP = "nop"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"OpClass.{self.name}"
+
+
+class FUKind(enum.Enum):
+    """Functional-unit kind an op class executes on (Table 1 FU mix)."""
+
+    INT = "int"
+    FP = "fp"
+    BRANCH = "branch"
+    MEMORY = "memory"
+    NONE = "none"  # NOPs consume an issue slot but no functional unit
+
+
+#: Which functional unit each op class occupies.  On the in-order machine
+#: (which has no dedicated memory unit, per Table 1) the cores remap
+#: ``MEMORY`` to the integer pipes, mirroring the Alpha 21164's E0/E1 ports.
+FU_FOR_OP = {
+    OpClass.IALU: FUKind.INT,
+    OpClass.IMUL: FUKind.INT,
+    OpClass.IDIV: FUKind.INT,
+    OpClass.FP: FUKind.FP,
+    OpClass.FDIV: FUKind.FP,
+    OpClass.FSQRT: FUKind.FP,
+    OpClass.LOAD: FUKind.MEMORY,
+    OpClass.STORE: FUKind.MEMORY,
+    OpClass.PREFETCH: FUKind.MEMORY,
+    OpClass.BRANCH: FUKind.BRANCH,
+    OpClass.JUMP: FUKind.BRANCH,
+    OpClass.MHAR_SET: FUKind.INT,
+    OpClass.MHRR_JUMP: FUKind.BRANCH,
+    OpClass.BLMISS: FUKind.BRANCH,
+    OpClass.NOP: FUKind.NONE,
+}
+
+_MEM_OPS = frozenset({OpClass.LOAD, OpClass.STORE, OpClass.PREFETCH})
+_CTRL_OPS = frozenset(
+    {OpClass.BRANCH, OpClass.JUMP, OpClass.MHRR_JUMP, OpClass.BLMISS}
+)
+
+
+def is_mem_op(op: OpClass) -> bool:
+    """Return True if *op* accesses the data cache."""
+    return op in _MEM_OPS
+
+
+def is_ctrl_op(op: OpClass) -> bool:
+    """Return True if *op* may redirect the fetch stream."""
+    return op in _CTRL_OPS

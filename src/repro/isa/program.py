@@ -1,0 +1,111 @@
+"""Static program representation.
+
+A :class:`Program` is an ordered list of static :class:`Instruction` entries
+plus a label table.  Programs exist so that examples and tests can express
+*real* kernels (loops over arrays, pointer chases, stencils) that the
+functional interpreter in :mod:`repro.isa.interp` turns into dynamic traces
+with genuine addresses and branch outcomes.  The large SPEC92-like workload
+models in :mod:`repro.workloads` bypass this layer and generate dynamic
+instructions directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple, Union
+
+#: Byte size of one static instruction; pcs step by this.
+INST_BYTES = 4
+
+#: Mnemonics understood by the assembler/interpreter, with operand shapes.
+#: r = register, i = immediate, l = label, m = memory operand "off(rbase)".
+MNEMONICS = {
+    "li": "ri",       # load immediate
+    "mv": "rr",       # move register
+    "add": "rrr",
+    "addi": "rri",
+    "sub": "rrr",
+    "mul": "rrr",     # integer multiply (IMUL latency)
+    "div": "rrr",     # integer divide (IDIV latency)
+    "and": "rrr",
+    "or": "rrr",
+    "xor": "rrr",
+    "sll": "rri",
+    "srl": "rri",
+    "slt": "rrr",
+    "fadd": "rrr",
+    "fsub": "rrr",
+    "fmul": "rrr",
+    "fdiv": "rrr",
+    "fsqrt": "rr",
+    "ld": "rm",       # load word
+    "st": "rm",       # store word
+    "prefetch": "m",
+    "beq": "rrl",
+    "bne": "rrl",
+    "blt": "rrl",
+    "bge": "rrl",
+    "j": "l",
+    "nop": "",
+    "halt": "",
+}
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One static instruction: a mnemonic plus operands.
+
+    Register operands are register ids (see :mod:`repro.isa.registers`),
+    immediates are ints, labels are strings, and memory operands are
+    ``(offset, base_register)`` tuples.
+    """
+
+    mnemonic: str
+    operands: Tuple[Union[int, str, Tuple[int, int]], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.mnemonic not in MNEMONICS:
+            raise ValueError(f"unknown mnemonic: {self.mnemonic!r}")
+
+
+@dataclass(frozen=True)
+class Label:
+    """A named position in a program, used as a branch target."""
+
+    name: str
+
+
+@dataclass
+class Program:
+    """An assembled program: instructions plus a label→index table."""
+
+    instructions: List[Instruction] = field(default_factory=list)
+    labels: Dict[str, int] = field(default_factory=dict)
+    base_pc: int = 0x1000
+
+    def append(self, item: Union[Instruction, Label]) -> None:
+        """Append an instruction, or bind a label to the current position."""
+        if isinstance(item, Label):
+            if item.name in self.labels:
+                raise ValueError(f"duplicate label: {item.name}")
+            self.labels[item.name] = len(self.instructions)
+        else:
+            self.instructions.append(item)
+
+    def extend(self, items) -> None:
+        for item in items:
+            self.append(item)
+
+    def pc_of(self, index: int) -> int:
+        """Static pc of the instruction at *index*."""
+        return self.base_pc + index * INST_BYTES
+
+    def target_index(self, label: str) -> int:
+        """Instruction index a label refers to."""
+        try:
+            return self.labels[label]
+        except KeyError:
+            raise KeyError(f"undefined label: {label!r}") from None
+
+    def __len__(self) -> int:
+        return len(self.instructions)

@@ -1,0 +1,115 @@
+"""Compact dynamic-trace serialisation.
+
+Traces captured from the functional interpreter (or any DynInst stream)
+can be written to a line-oriented text format and replayed later, so an
+experiment's exact input can be archived alongside its results.  Format,
+one instruction per line::
+
+    <op> pc=<hex> [d=<reg>] [s=<reg>,<reg>] [a=<hex>] [T|NT] [ni] [hc]
+
+``ni`` marks a non-informing memory op, ``hc`` handler code.  Lines
+starting with ``#`` are comments.  The format round-trips every field of
+:class:`~repro.isa.instructions.DynInst`.
+"""
+
+from __future__ import annotations
+
+from typing import IO, Iterable, Iterator
+
+from repro.isa.instructions import DynInst
+from repro.isa.opclass import OpClass
+
+_OP_BY_NAME = {op.name: op for op in OpClass}
+
+
+class TraceFormatError(ValueError):
+    """Raised on malformed trace lines, with the line number."""
+
+
+def format_inst(inst: DynInst) -> str:
+    parts = [inst.op.name, f"pc={inst.pc:x}"]
+    if inst.dest is not None:
+        parts.append(f"d={inst.dest}")
+    if inst.srcs:
+        parts.append("s=" + ",".join(str(src) for src in inst.srcs))
+    if inst.addr is not None:
+        parts.append(f"a={inst.addr:x}")
+    if inst.taken is not None:
+        parts.append("T" if inst.taken else "NT")
+    if inst.is_mem and not inst.informing:
+        parts.append("ni")
+    if inst.handler_code:
+        parts.append("hc")
+    return " ".join(parts)
+
+
+def parse_line(line: str, lineno: int = 0) -> DynInst:
+    tokens = line.split()
+    try:
+        op = _OP_BY_NAME[tokens[0]]
+    except (KeyError, IndexError):
+        raise TraceFormatError(f"line {lineno}: bad op in {line!r}") from None
+    dest = None
+    srcs = ()
+    addr = None
+    taken = None
+    pc = 0
+    informing = True
+    handler_code = False
+    for token in tokens[1:]:
+        if token.startswith("pc="):
+            pc = int(token[3:], 16)
+        elif token.startswith("d="):
+            dest = int(token[2:])
+        elif token.startswith("s="):
+            srcs = tuple(int(part) for part in token[2:].split(","))
+        elif token.startswith("a="):
+            addr = int(token[2:], 16)
+        elif token == "T":
+            taken = True
+        elif token == "NT":
+            taken = False
+        elif token == "ni":
+            informing = False
+        elif token == "hc":
+            handler_code = True
+        else:
+            raise TraceFormatError(
+                f"line {lineno}: unknown field {token!r}")
+    try:
+        return DynInst(op, dest=dest, srcs=srcs, addr=addr, taken=taken,
+                       pc=pc, informing=informing, handler_code=handler_code)
+    except ValueError as exc:
+        raise TraceFormatError(f"line {lineno}: {exc}") from None
+
+
+def write_trace(stream: Iterable[DynInst], fh: IO[str],
+                header: str = "") -> int:
+    """Write a trace; returns the instruction count."""
+    if header:
+        for line in header.splitlines():
+            fh.write(f"# {line}\n")
+    count = 0
+    for inst in stream:
+        fh.write(format_inst(inst) + "\n")
+        count += 1
+    return count
+
+
+def read_trace(fh: IO[str]) -> Iterator[DynInst]:
+    """Lazily parse a trace file written by :func:`write_trace`."""
+    for lineno, raw in enumerate(fh, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        yield parse_line(line, lineno)
+
+
+def save_trace(stream: Iterable[DynInst], path: str, header: str = "") -> int:
+    with open(path, "w") as fh:
+        return write_trace(stream, fh, header)
+
+
+def load_trace(path: str) -> Iterator[DynInst]:
+    with open(path) as fh:
+        yield from read_trace(fh)

@@ -1,0 +1,147 @@
+"""A set-associative cache with true-LRU replacement.
+
+The cache tracks tags, dirty bits and LRU ordering only — data values live
+in the functional layer (:mod:`repro.isa.interp`) or nowhere at all for the
+statistical workloads.  All methods take *line addresses* are derived from
+byte addresses internally, so callers pass plain byte addresses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.memory.config import CacheConfig
+
+
+@dataclass(frozen=True)
+class EvictedLine:
+    """A victim returned by :meth:`Cache.fill`."""
+
+    line_addr: int
+    dirty: bool
+
+
+class _Way:
+    """One resident line: LRU stamp plus dirty bit."""
+
+    __slots__ = ("stamp", "dirty")
+
+    def __init__(self, stamp: int, dirty: bool) -> None:
+        self.stamp = stamp
+        self.dirty = dirty
+
+
+#: Supported replacement policies.  The paper's machines use true LRU;
+#: FIFO and (seeded) random exist for the replacement ablation bench.
+REPLACEMENT_POLICIES = ("lru", "fifo", "random")
+
+
+class Cache:
+    """Tag array with pluggable replacement (LRU by default).
+
+    The probe/fill split matters for non-blocking behaviour: a miss does not
+    immediately install the line; the hierarchy installs it (``fill``) when
+    the data returns, which is what lets the MSHR squash path cancel a
+    speculative install (Section 3.3 of the paper).
+    """
+
+    def __init__(self, config: CacheConfig, name: str = "cache",
+                 policy: str = "lru", seed: int = 12345) -> None:
+        if policy not in REPLACEMENT_POLICIES:
+            raise ValueError(
+                f"unknown replacement policy {policy!r}; "
+                f"choose from {REPLACEMENT_POLICIES}")
+        self.config = config
+        self.name = name
+        self.policy = policy
+        self._sets: List[Dict[int, _Way]] = [dict() for _ in range(config.num_sets)]
+        self._set_mask = config.num_sets - 1
+        self._line_shift = config.line_size.bit_length() - 1
+        self._clock = 0
+        # Cheap deterministic LCG for the random policy (no random import
+        # on the hot path).
+        self._rand_state = seed or 1
+
+    # -- address helpers ---------------------------------------------------
+    def line_addr(self, addr: int) -> int:
+        """Line-granularity address of byte address *addr*."""
+        return addr >> self._line_shift
+
+    def _set_index(self, line_addr: int) -> int:
+        return line_addr & self._set_mask
+
+    # -- operations ----------------------------------------------------------
+    def probe(self, addr: int, is_write: bool = False, update_lru: bool = True
+              ) -> bool:
+        """Return True on a tag hit; updates LRU (and dirty on writes)."""
+        line = self.line_addr(addr)
+        way = self._sets[self._set_index(line)].get(line)
+        if way is None:
+            return False
+        if update_lru and self.policy == "lru":
+            self._clock += 1
+            way.stamp = self._clock
+        if is_write:
+            way.dirty = True
+        return True
+
+    def fill(self, addr: int, dirty: bool = False) -> Optional[EvictedLine]:
+        """Install the line containing *addr*; return the victim, if any.
+
+        Filling a line that is already resident refreshes its LRU stamp and
+        ORs in the dirty bit (a merged write miss), evicting nothing.
+        """
+        line = self.line_addr(addr)
+        cache_set = self._sets[self._set_index(line)]
+        self._clock += 1
+        existing = cache_set.get(line)
+        if existing is not None:
+            existing.stamp = self._clock
+            existing.dirty = existing.dirty or dirty
+            return None
+        victim: Optional[EvictedLine] = None
+        if len(cache_set) >= self.config.assoc:
+            victim_line = self._choose_victim(cache_set)
+            victim = EvictedLine(victim_line, cache_set[victim_line].dirty)
+            del cache_set[victim_line]
+        cache_set[line] = _Way(self._clock, dirty)
+        return victim
+
+    def _choose_victim(self, cache_set: Dict[int, _Way]) -> int:
+        if self.policy == "random":
+            self._rand_state = (self._rand_state * 1103515245 + 12345) & 0x7FFFFFFF
+            keys = list(cache_set)
+            return keys[self._rand_state % len(keys)]
+        # LRU and FIFO both evict the minimum stamp; they differ in whether
+        # probe() refreshes it (LRU) or only fill() sets it (FIFO).
+        return min(cache_set, key=lambda tag: cache_set[tag].stamp)
+
+    def invalidate(self, addr: int) -> bool:
+        """Remove the line containing *addr*; return True if it was resident."""
+        line = self.line_addr(addr)
+        cache_set = self._sets[self._set_index(line)]
+        if line in cache_set:
+            del cache_set[line]
+            return True
+        return False
+
+    def contains(self, addr: int) -> bool:
+        """Tag check with no LRU side effect."""
+        line = self.line_addr(addr)
+        return line in self._sets[self._set_index(line)]
+
+    def is_dirty(self, addr: int) -> bool:
+        """True if the line containing *addr* is resident and dirty."""
+        line = self.line_addr(addr)
+        way = self._sets[self._set_index(line)].get(line)
+        return way is not None and way.dirty
+
+    def flush(self) -> None:
+        """Empty the cache (used between experiment phases)."""
+        for cache_set in self._sets:
+            cache_set.clear()
+
+    def resident_lines(self) -> int:
+        """Number of lines currently resident (for occupancy assertions)."""
+        return sum(len(s) for s in self._sets)

@@ -1,0 +1,71 @@
+"""Cache and hierarchy configuration records (the memory half of Table 1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def _is_pow2(n: int) -> bool:
+    return n > 0 and (n & (n - 1)) == 0
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of one cache level.
+
+    Args:
+        size: total capacity in bytes.
+        assoc: ways per set (1 = direct mapped).
+        line_size: bytes per line.
+    """
+
+    size: int
+    assoc: int
+    line_size: int = 32
+
+    def __post_init__(self) -> None:
+        if not _is_pow2(self.line_size):
+            raise ValueError(f"line size must be a power of two: {self.line_size}")
+        if self.assoc < 1:
+            raise ValueError(f"associativity must be >= 1: {self.assoc}")
+        if self.size % (self.assoc * self.line_size) != 0:
+            raise ValueError(
+                f"size {self.size} not divisible by assoc*line "
+                f"({self.assoc}*{self.line_size})"
+            )
+        if not _is_pow2(self.num_sets):
+            raise ValueError(f"number of sets must be a power of two: {self.num_sets}")
+
+    @property
+    def num_sets(self) -> int:
+        return self.size // (self.assoc * self.line_size)
+
+
+@dataclass(frozen=True)
+class HierarchyConfig:
+    """Full two-level hierarchy parameters (Table 1, memory columns).
+
+    Latencies are *primary-to-X miss latencies* as the paper specifies: the
+    extra cycles beyond an L1 hit that a reference pays when it is satisfied
+    by the secondary cache or by main memory.
+    """
+
+    l1: CacheConfig
+    l2: CacheConfig
+    l1_hit_latency: int = 2          # load-use latency on a primary hit
+    l1_to_l2_latency: int = 12       # primary-to-secondary miss latency
+    l1_to_mem_latency: int = 75      # primary-to-memory miss latency
+    mshr_count: int = 8
+    data_banks: int = 2
+    fill_time: int = 4               # cycles a fill occupies the data banks
+    mem_cycles_per_access: int = 20  # main-memory bandwidth: 1 access / N cycles
+
+    def __post_init__(self) -> None:
+        if self.l1.line_size != self.l2.line_size:
+            raise ValueError("L1 and L2 must share a line size")
+        if self.l1_to_l2_latency < 1 or self.l1_to_mem_latency < self.l1_to_l2_latency:
+            raise ValueError("miss latencies must grow with hierarchy depth")
+        if self.mshr_count < 1:
+            raise ValueError("at least one MSHR is required")
+        if self.data_banks < 1:
+            raise ValueError("at least one data bank is required")

@@ -1,0 +1,322 @@
+"""Two-level non-blocking memory hierarchy with Table 1 timing.
+
+The hierarchy is the single point the cores talk to.  Accesses are submitted
+with a cycle number (non-decreasing); the hierarchy applies any fills whose
+data has arrived, models bank and main-memory-port contention, and returns
+an :class:`AccessResult` with the cycle the data is ready — or ``None`` when
+no MSHR is free, in which case the core retries the access on a later cycle
+(a structural stall, exactly how a lockup-free cache behaves).
+
+Fills are deferred: a missed line is installed only when its data returns.
+That deferral is what makes the Section 3.3 guarantee implementable — a
+pinned MSHR released as *squashed* after its fill invalidates the L1 line,
+and one released (squashed) before its fill suppresses the install entirely.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.memory.cache import Cache
+from repro.memory.config import CacheConfig, HierarchyConfig
+from repro.memory.main_memory import MainMemory
+from repro.memory.mshr import MSHRFile
+from repro.memory.stats import MemStats
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Timing outcome of one data-cache access.
+
+    Attributes:
+        l1_miss: True when the reference's hit/miss signal says *miss* —
+            the condition that fires an informing memory operation.  Both
+            primary and merged (secondary) misses raise it.
+        level: 1 (L1 hit), 2 (L2 hit) or 3 (main memory); merged misses
+            report the level of the miss they joined.
+        start_cycle: when the access actually occupied a bank (>= the
+            submitted cycle under contention).
+        ready_cycle: when the data is available to dependents.
+        mshr_id: the MSHR servicing the miss (primary or merged), else None.
+        merged: True when this was a secondary miss on an in-flight line.
+        needs_inform: True when this reference should invoke the informing
+            mechanism — it initiated a line fetch, or merged with one whose
+            handler has not yet run (the triggering reference was squashed
+            before its trap was taken, or the fetch was a prefetch).
+            Informing fires once per line fetch (Section 3.3: the access
+            check happens "every time a new line is fetched into the
+            cache"); cores call :meth:`MemoryHierarchy.mark_informed` when
+            the handler is actually taken.
+    """
+
+    l1_miss: bool
+    level: int
+    start_cycle: int
+    ready_cycle: int
+    mshr_id: Optional[int] = None
+    merged: bool = False
+    needs_inform: bool = False
+
+
+class MemoryHierarchy:
+    """L1 data cache + unified L2 + bandwidth-limited memory (+ optional L1I)."""
+
+    def __init__(
+        self,
+        config: HierarchyConfig,
+        icache: Optional[CacheConfig] = None,
+        extended_mshr_lifetime: bool = False,
+        stream_buffers: int = 0,
+        replacement_policy: str = "lru",
+    ) -> None:
+        self.config = config
+        self.l1 = Cache(config.l1, "L1D", policy=replacement_policy)
+        self.l2 = Cache(config.l2, "L2", policy=replacement_policy)
+        self.icache = Cache(icache, "L1I") if icache is not None else None
+        self.mshrs = MSHRFile(config.mshr_count, extended_mshr_lifetime)
+        self.memory = MainMemory(config.mem_cycles_per_access)
+        self.stats = MemStats()
+        # Jouppi-style stream buffers [Jou90] — the purely-hardware
+        # alternative the paper's introduction contrasts informing
+        # operations with.  Each buffer tracks one sequential stream with
+        # several prefetches in flight (FIFO of depth entries): a demand
+        # miss matching the buffer head is satisfied from the buffer and
+        # the stream advances; a miss matching nothing reallocates the
+        # least-recently-used buffer.
+        self.stream_buffer_depth = 4
+        self._stream_buffers = [
+            {"entries": [], "tail": -1, "last_used": 0}
+            for _ in range(stream_buffers)]
+        self.stream_buffer_hits = 0
+        self._line_shift = config.l1.line_size.bit_length() - 1
+        self._bank_free: List[int] = [0] * config.data_banks
+        # Pending fills: (ready_cycle, seq, mshr_id, line_addr, dirty, from_mem)
+        self._pending: List[Tuple[int, int, int, int, bool, bool]] = []
+        self._fill_seq = 0
+        self._last_cycle = 0
+        self.i_accesses = 0
+        self.i_misses = 0
+
+    # -- internal helpers ----------------------------------------------------
+    def _line_addr(self, addr: int) -> int:
+        return addr >> self._line_shift
+
+    def _line_to_byte(self, line_addr: int) -> int:
+        return line_addr << self._line_shift
+
+    def _claim_bank(self, line_addr: int, cycle: int, busy: int) -> int:
+        """Occupy the bank for *busy* cycles; return the start cycle."""
+        bank = line_addr % len(self._bank_free)
+        start = max(cycle, self._bank_free[bank])
+        self.stats.bank_conflict_cycles += start - cycle
+        self._bank_free[bank] = start + busy
+        return start
+
+    def _apply_fills(self, cycle: int) -> None:
+        """Install lines whose data has arrived by *cycle*."""
+        while self._pending and self._pending[0][0] <= cycle:
+            ready, _seq, mshr_id, line_addr, dirty, from_mem = heapq.heappop(
+                self._pending)
+            byte_addr = self._line_to_byte(line_addr)
+            if from_mem:
+                self._install_l2(byte_addr)
+            entry = self.mshrs.get(mshr_id)
+            if entry is None:
+                # Squashed before the data returned: the MSHR drop already
+                # stopped the forward; we also skip the L1 install.  The L2
+                # install above still happens — the paper's "effectively
+                # prefetched into the second-level cache".
+                continue
+            self._claim_bank(line_addr, ready, self.config.fill_time)
+            victim = self.l1.fill(byte_addr, dirty=dirty)
+            if victim is not None and victim.dirty:
+                self.stats.writebacks_l1 += 1
+                self.l2.probe(self._line_to_byte(victim.line_addr),
+                              is_write=True)
+            self.mshrs.mark_filled(mshr_id)
+
+    def _install_l2(self, byte_addr: int) -> None:
+        victim = self.l2.fill(byte_addr)
+        if victim is not None:
+            victim_byte = self._line_to_byte(victim.line_addr)
+            if victim.dirty:
+                self.stats.writebacks_l2 += 1
+                self.memory.schedule(self._last_cycle)
+            # Maintain inclusion: an L2 eviction purges the L1 copy.
+            self.l1.invalidate(victim_byte)
+
+    # -- public API ----------------------------------------------------------
+    def access(self, addr: int, is_write: bool, cycle: int,
+               prefetch: bool = False) -> Optional[AccessResult]:
+        """Submit a data access at *cycle*; see the module docstring.
+
+        Cycles must be non-decreasing across calls.  Returns None when the
+        access could not be accepted (MSHR file full, or a dropped
+        prefetch); demand accesses must then be retried.
+        """
+        if cycle < self._last_cycle:
+            raise ValueError(
+                f"accesses must be submitted in cycle order "
+                f"({cycle} < {self._last_cycle})")
+        self._last_cycle = cycle
+        self._apply_fills(cycle)
+        line_addr = self._line_addr(addr)
+        stats = self.stats
+
+        if prefetch:
+            stats.prefetches += 1
+        else:
+            stats.l1_accesses += 1
+
+        if self.l1.probe(addr, is_write=is_write):
+            if not prefetch:
+                stats.l1_hits += 1
+            start = self._claim_bank(line_addr, cycle, 1)
+            return AccessResult(False, 1, start,
+                                start + self.config.l1_hit_latency)
+
+        if self._stream_buffers and not prefetch:
+            buffer = self._match_stream_buffer(line_addr)
+            if buffer is not None:
+                # The line is the head of a stream buffer.  If its prefetch
+                # has completed this is a fast near-hit; otherwise the
+                # reference waits on the in-flight buffer fetch (it does
+                # not start a second one).  Either way the head is consumed
+                # and the buffer tops itself up to depth.
+                self.stream_buffer_hits += 1
+                buffer["last_used"] = cycle
+                _line, fetch_ready = buffer["entries"].pop(0)
+                arrived = fetch_ready <= cycle
+                start = self._claim_bank(line_addr, cycle, 1)
+                ready = max(fetch_ready, start) + self.config.l1_hit_latency
+                if arrived:
+                    stats.l1_hits += 1
+                else:
+                    stats.l1_misses += 1
+                    stats.note_line(line_addr)
+                self.l1.fill(addr, dirty=is_write)
+                self._top_up_stream_buffer(buffer, cycle)
+                return AccessResult(not arrived, 1, start, ready,
+                                    needs_inform=not arrived)
+
+        in_flight = self.mshrs.lookup(line_addr)
+        if in_flight is not None:
+            entry = self.mshrs.merge(line_addr, is_write and not prefetch)
+            if not prefetch:
+                stats.l1_secondary_misses += 1
+            return AccessResult(True, 0, cycle, entry.data_ready,
+                                mshr_id=entry.mshr_id, merged=True,
+                                needs_inform=not entry.informed)
+
+        if self.mshrs.full:
+            if prefetch:
+                stats.prefetches_dropped += 1
+            else:
+                stats.mshr_stalls += 1
+            return None
+
+        if not prefetch:
+            stats.l1_misses += 1
+            stats.note_line(line_addr)
+        start = self._claim_bank(line_addr, cycle, 1)
+        stats.l2_accesses += 1
+        if self.l2.probe(addr):
+            stats.l2_hits += 1
+            level = 2
+            data_ready = start + self.config.l1_to_l2_latency
+            from_mem = False
+        else:
+            stats.l2_misses += 1
+            level = 3
+            mem_start = self.memory.schedule(start)
+            data_ready = mem_start + self.config.l1_to_mem_latency
+            from_mem = True
+
+        entry = self.mshrs.allocate(line_addr, data_ready,
+                                    is_write and not prefetch)
+        assert entry is not None  # full-check above guarantees a slot
+        self._fill_seq += 1
+        heapq.heappush(self._pending, (data_ready, self._fill_seq,
+                                       entry.mshr_id, line_addr,
+                                       is_write and not prefetch, from_mem))
+        if self._stream_buffers and not prefetch:
+            # A miss that matched no buffer starts a new stream behind it.
+            self._allocate_stream_buffer(line_addr + 1, data_ready)
+        return AccessResult(True, level, start, data_ready,
+                            mshr_id=entry.mshr_id, needs_inform=True)
+
+    # -- stream buffers (hardware baseline) -----------------------------------
+    def _match_stream_buffer(self, line_addr: int):
+        for buffer in self._stream_buffers:
+            if buffer["entries"] and buffer["entries"][0][0] == line_addr:
+                return buffer
+        return None
+
+    def _fetch_into_stream_buffer(self, buffer: dict, cycle: int) -> None:
+        line_addr = buffer["tail"] + 1
+        buffer["tail"] = line_addr
+        byte_addr = self._line_to_byte(line_addr)
+        if self.l2.probe(byte_addr):
+            ready = cycle + self.config.l1_to_l2_latency
+        else:
+            start = self.memory.schedule(cycle)
+            ready = start + self.config.l1_to_mem_latency
+            # The fetched line is installed in the L2 as it passes through;
+            # modelled at request time (a slight idealisation that only
+            # matters if an unrelated reference touches the line first).
+            self._install_l2(byte_addr)
+        buffer["entries"].append((line_addr, ready))
+
+    def _top_up_stream_buffer(self, buffer: dict, cycle: int) -> None:
+        while len(buffer["entries"]) < self.stream_buffer_depth:
+            self._fetch_into_stream_buffer(buffer, cycle)
+
+    def _allocate_stream_buffer(self, line_addr: int, cycle: int) -> None:
+        victim = min(self._stream_buffers, key=lambda b: b["last_used"])
+        victim["last_used"] = cycle
+        victim["entries"] = []
+        victim["tail"] = line_addr - 1
+        self._top_up_stream_buffer(victim, cycle)
+
+    def mark_informed(self, mshr_id: int) -> None:
+        """A miss handler ran for this line fetch (see AccessResult)."""
+        self.mshrs.mark_informed(mshr_id)
+
+    def release_mshr(self, mshr_id: int, squashed: bool) -> None:
+        """Extended-lifetime release (graduate or squash) of a pinned MSHR."""
+        line_addr = self.mshrs.release(mshr_id, squashed)
+        if line_addr is not None:
+            if self.l1.invalidate(self._line_to_byte(line_addr)):
+                self.stats.squash_invalidations += 1
+
+    def ifetch(self, pc: int, cycle: int) -> int:
+        """Instruction fetch; returns the cycle the fetch block is available.
+
+        Modelled blocking and without MSHRs: handler-code fetch misses are
+        rare after warm-up, and the paper's overhead model only needs their
+        first-touch cost.
+        """
+        if self.icache is None:
+            return cycle
+        self.i_accesses += 1
+        if self.icache.probe(pc):
+            return cycle
+        self.i_misses += 1
+        if self.l2.probe(pc):
+            latency = self.config.l1_to_l2_latency
+        else:
+            self._install_l2(pc)
+            latency = self.config.l1_to_mem_latency
+        self.icache.fill(pc)
+        return cycle + latency
+
+    def drain(self) -> int:
+        """Apply all pending fills; return the last fill-ready cycle."""
+        last = self._last_cycle
+        if self._pending:
+            last = max(last, max(p[0] for p in self._pending))
+            self._apply_fills(last)
+            self._last_cycle = max(self._last_cycle, last)
+        return last

@@ -1,0 +1,5 @@
+"""Out-of-order-issue superscalar core modelled on the MIPS R10000 (§3.2)."""
+
+from repro.ooo.core import OutOfOrderCore
+
+__all__ = ["OutOfOrderCore"]

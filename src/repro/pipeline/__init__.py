@@ -1,0 +1,24 @@
+"""Shared pipeline machinery for the in-order and out-of-order cores.
+
+* :mod:`repro.pipeline.config` — pipeline-half of Table 1 (widths, FU mix,
+  latencies, shadow state, penalties).
+* :mod:`repro.pipeline.fu` — per-cycle functional-unit availability.
+* :mod:`repro.pipeline.stream` — the replayable fetch-stream stack that
+  implements handler injection and squash/replay.
+* :mod:`repro.pipeline.gradstats` — Figure 2's graduation-slot accounting.
+"""
+
+from repro.pipeline.config import CoreConfig, LatencyTable
+from repro.pipeline.fu import FUPool
+from repro.pipeline.gradstats import GraduationStats
+from repro.pipeline.stream import FetchPoint, StreamStack, StreamError
+
+__all__ = [
+    "CoreConfig",
+    "LatencyTable",
+    "FUPool",
+    "GraduationStats",
+    "FetchPoint",
+    "StreamStack",
+    "StreamError",
+]

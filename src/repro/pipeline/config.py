@@ -1,0 +1,81 @@
+"""Pipeline configuration: the left half of Table 1."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.isa.opclass import OpClass
+
+
+@dataclass(frozen=True)
+class LatencyTable:
+    """Execution latency (cycles) per op class.
+
+    Table 1 gives the class latencies that differ between the machines;
+    the single-cycle classes are fixed.  Load latency is owned by the
+    memory hierarchy (hit latency / miss ready times), so LOAD/STORE here
+    carry only the 1-cycle address-generation/agen slot cost.
+    """
+
+    imul: int = 12
+    idiv: int = 76
+    fdiv: int = 15
+    fsqrt: int = 20
+    fp_other: int = 2
+
+    def latency_of(self, op: OpClass) -> int:
+        getter = _LATENCY_DISPATCH.get(op)
+        return getter(self) if getter is not None else 1
+
+
+_LATENCY_DISPATCH: Dict[OpClass, object] = {
+    OpClass.IMUL: lambda t: t.imul,
+    OpClass.IDIV: lambda t: t.idiv,
+    OpClass.FDIV: lambda t: t.fdiv,
+    OpClass.FSQRT: lambda t: t.fsqrt,
+    OpClass.FP: lambda t: t.fp_other,
+}
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Pipeline parameters for one machine model.
+
+    Attributes:
+        issue_width: instructions fetched/issued/graduated per cycle (4).
+        int_units / fp_units / branch_units / mem_units: FU mix.  The
+            in-order machine sets ``mem_units = 0`` — per Table 1 it has no
+            dedicated memory unit, so memory ops use the integer pipes as
+            on the Alpha 21164.
+        rob_size: reorder-buffer entries; None means in-order (no ROB).
+        shadow_branches: maximum unresolved predicted branches in flight
+            (R10000 shadow rename state; the paper notes ~3).  When
+            informing traps are handled branch-style, in-flight informing
+            memory ops consume the same resource (Section 3.2).
+        mispredict_penalty: fetch-redirect cycles after a mispredicted
+            branch resolves; the same penalty applies to taking an
+            informing trap (the implicit branch is predicted not-taken).
+        latencies: the machine's :class:`LatencyTable`.
+        predictor_entries: 2-bit-counter table size.
+    """
+
+    name: str
+    issue_width: int = 4
+    int_units: int = 2
+    fp_units: int = 2
+    branch_units: int = 1
+    mem_units: int = 1
+    rob_size: int = 32
+    shadow_branches: int = 3
+    mispredict_penalty: int = 4
+    latencies: LatencyTable = field(default_factory=LatencyTable)
+    predictor_entries: int = 2048
+
+    def __post_init__(self) -> None:
+        if self.issue_width < 1:
+            raise ValueError("issue width must be positive")
+        if self.int_units < 1:
+            raise ValueError("need at least one integer unit")
+        if self.mispredict_penalty < 0:
+            raise ValueError("mispredict penalty cannot be negative")

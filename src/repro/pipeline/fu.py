@@ -1,0 +1,52 @@
+"""Per-cycle functional-unit availability.
+
+Table 1's functional units are fully pipelined (the paper's stated
+simplification), so a unit accepts a new operation every cycle regardless of
+operation latency.  Availability therefore reduces to per-cycle issue
+counters per unit kind.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.isa.opclass import FUKind
+from repro.pipeline.config import CoreConfig
+
+
+class FUPool:
+    """Issue-bandwidth tracker for one cycle at a time."""
+
+    def __init__(self, config: CoreConfig) -> None:
+        self._counts: Dict[FUKind, int] = {
+            FUKind.INT: config.int_units,
+            FUKind.FP: config.fp_units,
+            FUKind.BRANCH: config.branch_units,
+            FUKind.MEMORY: config.mem_units,
+        }
+        # No dedicated memory unit: memory ops flow through the integer
+        # pipes (the Alpha 21164 arrangement).
+        self._mem_on_int = config.mem_units == 0
+        self._avail: Dict[FUKind, int] = dict(self._counts)
+
+    def new_cycle(self) -> None:
+        """Reset availability at the start of a cycle."""
+        self._avail = dict(self._counts)
+
+    def try_take(self, kind: FUKind) -> bool:
+        """Claim a unit of *kind* this cycle; False if none remain."""
+        if kind is FUKind.NONE:
+            return True
+        if kind is FUKind.MEMORY and self._mem_on_int:
+            kind = FUKind.INT
+        if self._avail[kind] > 0:
+            self._avail[kind] -= 1
+            return True
+        return False
+
+    def available(self, kind: FUKind) -> int:
+        if kind is FUKind.NONE:
+            return 1
+        if kind is FUKind.MEMORY and self._mem_on_int:
+            kind = FUKind.INT
+        return self._avail[kind]

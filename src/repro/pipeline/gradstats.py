@@ -1,0 +1,79 @@
+"""Graduation-slot accounting — the methodology behind Figures 2 and 3.
+
+Each cycle contributes ``issue_width`` graduation slots.  A slot is *busy*
+when an instruction graduates in it; a lost slot is charged to *cache stall*
+when the oldest unfinished instruction is waiting on a data-cache miss, and
+to *other* otherwise.  Normalized execution time between two runs of the
+same workload is the ratio of their total slots (equivalently, cycles).
+
+The paper's footnote applies here too: the cache-stall section is a
+first-order attribution — miss delays also lengthen later dependence
+stalls, which land in *other*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class GraduationStats:
+    """Totals for one simulation run."""
+
+    width: int
+    cycles: int = 0
+    busy_slots: int = 0
+    cache_stall_slots: int = 0
+    other_stall_slots: int = 0
+    app_instructions: int = 0
+    handler_instructions: int = 0
+    handler_invocations: int = 0
+    informing_mispredicts: int = 0
+    branch_mispredicts: int = 0
+
+    def record_cycle(self, graduated: int, cache_blame: bool) -> None:
+        """Account one cycle: *graduated* slots busy, the rest blamed."""
+        if graduated > self.width:
+            raise ValueError(
+                f"graduated {graduated} exceeds width {self.width}")
+        self.cycles += 1
+        self.busy_slots += graduated
+        lost = self.width - graduated
+        if cache_blame:
+            self.cache_stall_slots += lost
+        else:
+            self.other_stall_slots += lost
+
+    @property
+    def total_slots(self) -> int:
+        return self.cycles * self.width
+
+    @property
+    def instructions(self) -> int:
+        return self.app_instructions + self.handler_instructions
+
+    @property
+    def ipc(self) -> float:
+        """Graduated instructions per cycle (busy fraction × width)."""
+        if self.cycles == 0:
+            return 0.0
+        return self.busy_slots / self.cycles
+
+    def breakdown(self) -> dict:
+        """Slot fractions in Figure 2's three categories."""
+        total = self.total_slots
+        if total == 0:
+            return {"busy": 0.0, "cache_stall": 0.0, "other_stall": 0.0}
+        return {
+            "busy": self.busy_slots / total,
+            "cache_stall": self.cache_stall_slots / total,
+            "other_stall": self.other_stall_slots / total,
+        }
+
+    def normalized_to(self, baseline: "GraduationStats") -> float:
+        """Execution time of this run relative to *baseline* (same width)."""
+        if baseline.width != self.width:
+            raise ValueError("runs being compared must share issue width")
+        if baseline.cycles == 0:
+            raise ValueError("baseline run has no cycles")
+        return self.cycles / baseline.cycles

@@ -1,0 +1,154 @@
+"""Replayable fetch streams with handler injection.
+
+A core fetches from a :class:`StreamStack`: a stack of instruction frames.
+The bottom frame is the application's dynamic trace; taking an informing
+trap pushes a *handler frame* on top, and the handler's terminating
+MHRR-jump simply lets the frame exhaust, resuming the frame below.
+
+Every fetched instruction carries a :class:`FetchPoint`; squashing younger
+instructions (a mispredicted branch-style trap, or an exception-style flush)
+is :meth:`StreamStack.rewind_after` — the stack pops any frames pushed after
+the point and rewinds the owning frame so the same instructions are fetched
+again.  This replay is exactly the paper's semantics: the instruction after
+a trapping memory op is squashed and later re-fetched after the handler
+returns.
+
+Frames buffer fetched instructions until the core commits them
+(:meth:`StreamStack.committed`), which bounds memory while allowing
+arbitrary rewinds to uncommitted points.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterable, Iterator, List, NamedTuple, Optional, Tuple
+
+from repro.isa.instructions import DynInst
+
+
+class StreamError(RuntimeError):
+    """Raised on rewinds to unavailable points (a core bug, not a workload)."""
+
+
+class FetchPoint(NamedTuple):
+    """Identity of one fetched instruction: owning frame plus index."""
+
+    frame_serial: int
+    index: int
+
+
+class _Frame:
+    __slots__ = ("serial", "source", "buffer", "base", "pos", "end")
+
+    def __init__(self, source: Iterable[DynInst], serial: int) -> None:
+        self.serial = serial
+        self.source: Iterator[DynInst] = iter(source)
+        self.buffer: Deque[DynInst] = deque()
+        self.base = 0            # absolute index of buffer[0]
+        self.pos = 0             # absolute index of the next fetch
+        self.end: Optional[int] = None  # absolute length once exhausted
+
+    def fetch(self) -> Optional[DynInst]:
+        offset = self.pos - self.base
+        if offset < len(self.buffer):
+            inst = self.buffer[offset]
+        else:
+            if self.end is not None:
+                return None
+            try:
+                inst = next(self.source)
+            except StopIteration:
+                self.end = self.pos
+                return None
+            self.buffer.append(inst)
+        self.pos += 1
+        return inst
+
+    @property
+    def finished(self) -> bool:
+        return self.end is not None and self.pos >= self.end
+
+    def rewind_to(self, index: int) -> None:
+        if index < self.base:
+            raise StreamError(
+                f"rewind to {index} below committed base {self.base}")
+        if index > self.pos:
+            raise StreamError(f"rewind to {index} beyond fetch point {self.pos}")
+        self.pos = index
+
+    def trim_to(self, index: int) -> None:
+        """Drop buffered instructions before absolute *index*."""
+        while self.base < index and self.buffer:
+            self.buffer.popleft()
+            self.base += 1
+
+
+class StreamStack:
+    """The fetch source: application frame at the bottom, handlers above."""
+
+    def __init__(self, main: Iterable[DynInst]) -> None:
+        self._frames: List[_Frame] = [_Frame(main, 0)]
+        self._next_serial = 1
+
+    # -- fetching ------------------------------------------------------------
+    def fetch(self) -> Optional[Tuple[DynInst, FetchPoint]]:
+        """Fetch the next instruction, popping exhausted handler frames.
+
+        Returns None when the application frame itself is exhausted.
+        """
+        while True:
+            top = self._frames[-1]
+            inst = top.fetch()
+            if inst is not None:
+                return inst, FetchPoint(top.serial, top.pos - 1)
+            if len(self._frames) == 1:
+                return None
+            self._frames.pop()
+
+    # -- handler injection ---------------------------------------------------
+    def push_handler(self, instructions: Iterable[DynInst]) -> int:
+        """Push a handler frame; fetch resumes from it immediately."""
+        serial = self._next_serial
+        self._next_serial += 1
+        self._frames.append(_Frame(instructions, serial))
+        return serial
+
+    # -- squash / replay -------------------------------------------------------
+    def rewind_after(self, point: FetchPoint) -> None:
+        """Squash everything fetched after *point*; next fetch follows it."""
+        self._pop_to(point).rewind_to(point.index + 1)
+
+    def rewind_to(self, point: FetchPoint) -> None:
+        """Squash *point* itself too; it will be re-fetched."""
+        self._pop_to(point).rewind_to(point.index)
+
+    def _pop_to(self, point: FetchPoint) -> _Frame:
+        while self._frames and self._frames[-1].serial != point.frame_serial:
+            if len(self._frames) == 1:
+                raise StreamError(
+                    f"rewind target frame {point.frame_serial} is gone")
+            self._frames.pop()
+        return self._frames[-1]
+
+    # -- retirement ---------------------------------------------------------
+    def committed(self, point: FetchPoint) -> None:
+        """The instruction at *point* is committed; free replay storage.
+
+        Commits arrive in program order, so everything before the point in
+        its frame can be dropped.  Points in already-popped handler frames
+        are ignored — their storage died with the frame.
+        """
+        for frame in self._frames:
+            if frame.serial == point.frame_serial:
+                frame.trim_to(point.index + 1)
+                return
+
+    @property
+    def depth(self) -> int:
+        """Number of frames on the stack (1 = no handler active)."""
+        return len(self._frames)
+
+    @property
+    def buffered(self) -> int:
+        """Total instructions held for potential replay."""
+        return sum(len(frame.buffer) for frame in self._frames)

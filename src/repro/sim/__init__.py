@@ -1,0 +1,13 @@
+"""A small process-oriented discrete-event simulation kernel.
+
+The multiprocessor coherence study (Section 4.3) is simulated TangoLite
+style: each processor is a process that interleaves computation delays with
+memory events; the kernel advances global time in event order.  Processes
+are plain Python generators that ``yield`` either a cycle delay (int) or an
+:class:`Event` to wait on; :class:`Barrier` builds the usual parallel-phase
+synchronisation on top.
+"""
+
+from repro.sim.kernel import Barrier, Event, Simulator, SimError
+
+__all__ = ["Simulator", "Event", "Barrier", "SimError"]

@@ -1,0 +1,141 @@
+"""Discrete-event kernel: generator processes, events, barriers."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, List, Optional, Tuple
+
+
+class SimError(RuntimeError):
+    """Raised for misuse of the kernel (bad yields, negative delays...)."""
+
+
+class Event:
+    """A one-shot synchronisation point processes can wait on.
+
+    A process waits by yielding the event; :meth:`trigger` wakes every
+    waiter at the current simulation time.  Events may carry a value,
+    readable via :attr:`value` after the trigger.
+    """
+
+    def __init__(self, sim: "Simulator") -> None:
+        self._sim = sim
+        self._waiters: List[Generator] = []
+        self.triggered = False
+        self.value: Any = None
+
+    def trigger(self, value: Any = None) -> None:
+        if self.triggered:
+            raise SimError("event already triggered")
+        self.triggered = True
+        self.value = value
+        for process in self._waiters:
+            self._sim._schedule(0, process)
+        self._waiters.clear()
+
+    def _add_waiter(self, process: Generator) -> None:
+        if self.triggered:
+            self._sim._schedule(0, process)
+        else:
+            self._waiters.append(process)
+
+
+class Barrier:
+    """Reusable barrier for *parties* processes.
+
+    Yield the result of :meth:`wait` from a process; the last arriver
+    releases everyone and the barrier resets for the next phase.
+    """
+
+    def __init__(self, sim: "Simulator", parties: int) -> None:
+        if parties < 1:
+            raise SimError("barrier needs at least one party")
+        self._sim = sim
+        self.parties = parties
+        self._event = Event(sim)
+        self._count = 0
+        self.generations = 0
+
+    def wait(self) -> Event:
+        """Return the event to yield on; triggers when all parties arrive."""
+        self._count += 1
+        event = self._event
+        if self._count == self.parties:
+            self._count = 0
+            self.generations += 1
+            self._event = Event(self._sim)
+            event.trigger()
+        return event
+
+
+class Simulator:
+    """Event queue plus process scheduler."""
+
+    def __init__(self) -> None:
+        self.now = 0
+        self._queue: List[Tuple[int, int, Generator]] = []
+        self._seq = 0
+        self._live = 0
+
+    # -- scheduling ----------------------------------------------------------
+    def _schedule(self, delay: int, process: Generator) -> None:
+        if delay < 0:
+            raise SimError(f"negative delay: {delay}")
+        self._seq += 1
+        heapq.heappush(self._queue, (self.now + delay, self._seq, process))
+
+    def spawn(self, process: Generator) -> Generator:
+        """Register a generator process to start at the current time."""
+        self._live += 1
+        self._schedule(0, process)
+        return process
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def barrier(self, parties: int) -> Barrier:
+        return Barrier(self, parties)
+
+    def at(self, delay: int, callback: Callable[[], None]) -> None:
+        """Run *callback* after *delay* cycles (wrapped as a tiny process)."""
+        def runner() -> Generator:
+            callback()
+            return
+            yield  # pragma: no cover - makes runner a generator
+
+        self._live += 1
+        self._schedule(delay, runner())
+
+    # -- main loop -------------------------------------------------------------
+    def run(self, until: Optional[int] = None) -> int:
+        """Run until no events remain (or past *until*); return final time."""
+        while self._queue:
+            time, _seq, process = self._queue[0]
+            if until is not None and time > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._queue)
+            self.now = time
+            self._step(process)
+        return self.now
+
+    def _step(self, process: Generator) -> None:
+        try:
+            yielded = next(process)
+        except StopIteration:
+            self._live -= 1
+            return
+        if isinstance(yielded, bool):
+            raise SimError(f"process yielded a bool: {yielded!r}")
+        if isinstance(yielded, int):
+            self._schedule(yielded, process)
+        elif isinstance(yielded, Event):
+            yielded._add_waiter(process)
+        else:
+            raise SimError(
+                f"process yielded {yielded!r}; expected int delay or Event")
+
+    @property
+    def live_processes(self) -> int:
+        """Processes spawned and not yet finished."""
+        return self._live

@@ -1,0 +1,134 @@
+"""Workload characterisation: measure what a model actually generates.
+
+The SPEC92 substitutes in :mod:`repro.workloads.spec92` are tuned to
+qualitative targets; this module measures a stream's realised properties —
+instruction mix, static footprint, memory footprint, line reuse, branch
+bias — so calibration claims in DESIGN.md/EXPERIMENTS.md are checkable
+facts rather than intentions.  The CLI exposes it as
+``python -m repro.harness characterize``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Set
+
+from repro.isa.instructions import DynInst
+from repro.isa.opclass import OpClass
+
+_MIX_GROUPS = {
+    OpClass.IALU: "int",
+    OpClass.IMUL: "int",
+    OpClass.IDIV: "int",
+    OpClass.FP: "fp",
+    OpClass.FDIV: "fp",
+    OpClass.FSQRT: "fp",
+    OpClass.LOAD: "load",
+    OpClass.STORE: "store",
+    OpClass.PREFETCH: "prefetch",
+    OpClass.BRANCH: "branch",
+    OpClass.JUMP: "branch",
+    OpClass.MHRR_JUMP: "branch",
+    OpClass.BLMISS: "overhead",
+    OpClass.MHAR_SET: "overhead",
+    OpClass.NOP: "other",
+}
+
+
+@dataclass
+class WorkloadProfile:
+    """Realised properties of one dynamic instruction stream."""
+
+    instructions: int = 0
+    mix: Counter = field(default_factory=Counter)
+    static_pcs: Set[int] = field(default_factory=set)
+    static_ref_pcs: Set[int] = field(default_factory=set)
+    lines_touched: Set[int] = field(default_factory=set)
+    line_visits: int = 0
+    branch_taken: Counter = field(default_factory=Counter)
+    branch_total: Counter = field(default_factory=Counter)
+
+    @property
+    def mem_fraction(self) -> float:
+        refs = self.mix["load"] + self.mix["store"]
+        return refs / self.instructions if self.instructions else 0.0
+
+    @property
+    def store_fraction(self) -> float:
+        refs = self.mix["load"] + self.mix["store"]
+        return self.mix["store"] / refs if refs else 0.0
+
+    @property
+    def branch_fraction(self) -> float:
+        if not self.instructions:
+            return 0.0
+        return self.mix["branch"] / self.instructions
+
+    @property
+    def footprint_bytes(self) -> int:
+        """Distinct data footprint at 32B line granularity."""
+        return len(self.lines_touched) * 32
+
+    @property
+    def line_reuse(self) -> float:
+        """Mean visits per distinct line (1.0 = pure streaming)."""
+        if not self.lines_touched:
+            return 0.0
+        return self.line_visits / len(self.lines_touched)
+
+    def branch_bias(self) -> Dict[int, float]:
+        """Per-static-branch taken probability."""
+        return {pc: self.branch_taken[pc] / total
+                for pc, total in self.branch_total.items() if total}
+
+    @property
+    def mean_branch_predictability(self) -> float:
+        """Upper bound on a per-branch static predictor's accuracy."""
+        biases = self.branch_bias()
+        if not biases:
+            return 1.0
+        weights = [(max(p, 1 - p), self.branch_total[pc])
+                   for pc, p in biases.items()]
+        total = sum(n for _, n in weights)
+        return sum(acc * n for acc, n in weights) / total
+
+
+def characterize(stream: Iterable[DynInst],
+                 limit: int = 100_000) -> WorkloadProfile:
+    """Consume up to *limit* instructions and profile them."""
+    profile = WorkloadProfile()
+    for inst in stream:
+        if profile.instructions >= limit:
+            break
+        profile.instructions += 1
+        profile.mix[_MIX_GROUPS[inst.op]] += 1
+        profile.static_pcs.add(inst.pc)
+        if inst.op in (OpClass.LOAD, OpClass.STORE):
+            profile.static_ref_pcs.add(inst.pc)
+            line = inst.addr >> 5
+            profile.lines_touched.add(line)
+            profile.line_visits += 1
+        elif inst.op is OpClass.BRANCH:
+            profile.branch_total[inst.pc] += 1
+            if inst.taken:
+                profile.branch_taken[inst.pc] += 1
+    return profile
+
+
+def render_profile(name: str, profile: WorkloadProfile) -> str:
+    mix = ", ".join(f"{kind}={count / profile.instructions:.2f}"
+                    for kind, count in sorted(profile.mix.items()))
+    return "\n".join([
+        f"workload: {name}",
+        f"  instructions        {profile.instructions}",
+        f"  mix                 {mix}",
+        f"  memory fraction     {profile.mem_fraction:.3f} "
+        f"(stores {profile.store_fraction:.2f} of refs)",
+        f"  branch fraction     {profile.branch_fraction:.3f} "
+        f"(predictability <= {profile.mean_branch_predictability:.3f})",
+        f"  static insts/refs   {len(profile.static_pcs)}/"
+        f"{len(profile.static_ref_pcs)}",
+        f"  data footprint      {profile.footprint_bytes / 1024:.1f}KB "
+        f"({profile.line_reuse:.1f} visits/line)",
+    ])

@@ -1,0 +1,193 @@
+"""Shared-memory kernels for the coherence case study (§4.3).
+
+The paper's Figure 4 evaluates parallel applications whose names are
+unreadable in the available scan; these six synthetic kernels span the
+sharing idioms the Blizzard papers evaluate and sweep the axes that
+determine the relative cost of the three access-control methods: the ratio
+of shared to private references, the read/write mix, miss rates, and
+invalidation traffic.  Each kernel is a factory ``kernel(proc, nprocs)``
+returning that processor's event stream: :class:`MemRef` records
+interleaved with :data:`BARRIER` sentinels at phase boundaries.
+
+All kernels are seeded and deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Iterator, NamedTuple, Union
+
+#: Phase-boundary sentinel understood by the multiprocessor simulator.
+BARRIER = object()
+
+
+class MemRef(NamedTuple):
+    """One memory event: compute cycles, then a reference."""
+
+    compute: int
+    addr: int
+    is_write: bool
+    shared: bool
+
+
+Event = Union[MemRef, object]
+KernelFactory = Callable[[int, int], Iterator[Event]]
+
+UNIT = 32                       # coherence unit / line size
+SHARED_BASE = 0x0010_0000
+PRIVATE_BASE = 0x1000_0000
+PRIVATE_SPAN = 0x0010_0000      # 1MB of private space per processor
+
+
+def _private(proc: int, offset: int) -> int:
+    return PRIVATE_BASE + proc * PRIVATE_SPAN + offset
+
+
+def _private_work(rng: random.Random, proc: int, count: int,
+                  working_set: int = 8 * 1024) -> Iterator[MemRef]:
+    """Private-data references: identical across methods (uninstrumented)."""
+    for _ in range(count):
+        offset = rng.randrange(0, working_set, 4)
+        yield MemRef(rng.randint(1, 4), _private(proc, offset),
+                     rng.random() < 0.3, shared=False)
+
+
+def read_mostly(proc: int, nprocs: int, iterations: int = 12,
+                blocks: int = 64, sweeps: int = 6,
+                seed: int = 1) -> Iterator[Event]:
+    """A shared table read hot by everyone; one writer updates a little.
+
+    The classic case where per-reference checking hurts most: a flood of
+    shared reads that are almost always cache hits with adequate
+    protection (18 cycles each under reference checking, free under
+    informing operations), plus enough repeat writes that the ECC method
+    pays spurious page-protection faults.
+    """
+    rng = random.Random(seed * 10_007 + proc)
+    for it in range(iterations):
+        # Four rotating writers, one block each: update work is balanced,
+        # so per-reference overheads are on every processor's critical
+        # path instead of hiding under one writer's protocol stalls.
+        writers = [(it * 4 + k) % nprocs for k in range(4)]
+        for _sweep in range(sweeps):
+            for b in range(blocks):
+                yield MemRef(1, SHARED_BASE + b * UNIT, False, shared=True)
+            yield from _private_work(rng, proc, 4)
+        if proc in writers:
+            victim = (it * 4 + writers.index(proc)) % blocks
+            for rep in range(4):
+                yield MemRef(2, SHARED_BASE + victim * UNIT + 4 * rep, True,
+                             shared=True)
+        yield BARRIER
+
+
+def producer_consumer(proc: int, nprocs: int, iterations: int = 14,
+                      blocks: int = 8, seed: int = 2) -> Iterator[Event]:
+    """Each processor fills its region (many writes per block), then reads
+    its neighbour's region repeatedly: one upgrade and one fetch per block,
+    plus a stream of cheap repeat references that separate the methods."""
+    rng = random.Random(seed * 10_007 + proc)
+    region = SHARED_BASE + proc * blocks * UNIT
+    neighbour = SHARED_BASE + ((proc + 1) % nprocs) * blocks * UNIT
+    for _ in range(iterations):
+        for b in range(blocks):
+            for word in range(10):  # repeat writes: only the first upgrades
+                yield MemRef(1, region + b * UNIT + 4 * (word % 8), True,
+                             shared=True)
+            yield from _private_work(rng, proc, 2)
+        yield BARRIER
+        for _sweep in range(30):
+            for b in range(blocks):
+                yield MemRef(1, neighbour + b * UNIT, False, shared=True)
+            yield from _private_work(rng, proc, 2)
+        yield BARRIER
+
+
+def migratory(proc: int, nprocs: int, iterations: int = 20,
+              blocks: int = 4, seed: int = 3) -> Iterator[Event]:
+    """Concurrent migratory chains: every processor read-modify-writes a
+    block set that a different processor held last iteration, then works
+    on it locally for a while (repeat hits)."""
+    rng = random.Random(seed * 10_007 + proc)
+    for it in range(iterations):
+        chain = (proc + it) % nprocs
+        base = SHARED_BASE + chain * blocks * UNIT
+        for b in range(blocks):
+            addr = base + b * UNIT
+            yield MemRef(2, addr, False, shared=True)
+            for word in range(4):
+                yield MemRef(1, addr + 4 * word, True, shared=True)
+        for _rep in range(30):  # local reuse of the migrated data
+            for b in range(blocks):
+                yield MemRef(1, base + b * UNIT, False, shared=True)
+            yield from _private_work(rng, proc, 3)
+        yield BARRIER
+
+
+def all_to_all(proc: int, nprocs: int, iterations: int = 12,
+               seed: int = 4) -> Iterator[Event]:
+    """Transpose-like: write your row, then read one block of every row."""
+    rng = random.Random(seed * 10_007 + proc)
+    row_blocks = 4
+    my_row = SHARED_BASE + proc * nprocs * UNIT
+    for it in range(iterations):
+        for b in range(row_blocks):
+            for word in range(10):
+                yield MemRef(1, my_row + b * UNIT + 4 * (word % 8), True,
+                             shared=True)
+            yield from _private_work(rng, proc, 1)
+        yield BARRIER
+        # Fetch a few remote blocks, then reuse them heavily.
+        partners = [(proc + k + 1) % nprocs for k in range(row_blocks)]
+        for _sweep in range(20):
+            for other in partners:
+                addr = SHARED_BASE + (other * nprocs + proc % row_blocks) * UNIT
+                yield MemRef(1, addr, False, shared=True)
+            yield from _private_work(rng, proc, 4)
+        yield BARRIER
+
+
+def false_sharing(proc: int, nprocs: int, iterations: int = 20,
+                  blocks: int = 8, seed: int = 5) -> Iterator[Event]:
+    """Distinct words of the same coherence units written by all."""
+    rng = random.Random(seed * 10_007 + proc)
+    word = (proc * 4) % UNIT
+    counters = SHARED_BASE + 0x8000 + proc * blocks * UNIT  # padded: no sharing
+    for _ in range(iterations):
+        for b in range(blocks):
+            yield from _private_work(rng, proc, 2)
+            yield MemRef(2, SHARED_BASE + b * UNIT + word, True, shared=True)
+            for rep in range(30):  # padded per-processor counters: all hits
+                yield MemRef(1, counters + (b % blocks) * UNIT, False,
+                             shared=True)
+        yield BARRIER
+
+
+def mixed(proc: int, nprocs: int, iterations: int = 16,
+          seed: int = 6) -> Iterator[Event]:
+    """A blend: shared read-mostly table, private work, occasional RMW."""
+    rng = random.Random(seed * 10_007 + proc)
+    table_blocks = 48
+    for it in range(iterations):
+        for _ in range(150):
+            yield from _private_work(rng, proc, 1)
+            block = rng.randrange(table_blocks)
+            yield MemRef(1, SHARED_BASE + block * UNIT, False, shared=True)
+        # Two rotating writers per iteration update one block each.
+        if proc in ((it * 2) % nprocs, (it * 2 + 1) % nprocs):
+            victim = (it * 2 + proc) % table_blocks
+            addr = SHARED_BASE + victim * UNIT
+            yield MemRef(1, addr, False, shared=True)
+            yield MemRef(1, addr, True, shared=True)
+        yield BARRIER
+
+
+#: Figure 4's application set (synthetic stand-ins; see module docstring).
+PARALLEL_KERNELS: Dict[str, KernelFactory] = {
+    "read_mostly": read_mostly,
+    "producer_consumer": producer_consumer,
+    "migratory": migratory,
+    "all_to_all": all_to_all,
+    "false_sharing": false_sharing,
+    "mixed": mixed,
+}

@@ -1,0 +1,208 @@
+"""Template-loop synthetic workload generator.
+
+A workload is modelled as a loop *body* of static instruction slots (each
+with a fixed pc, op class and rough dependence shape) executed repeatedly
+with varying data: memory slots draw addresses from the workload's access
+pattern, branch slots draw outcomes from their per-slot bias.  This mirrors
+how the instrumentation-relevant properties of a real benchmark arise: a
+stable set of static references (what unique handlers and per-reference
+profiles key on) with data-dependent dynamic behaviour.
+
+Everything is seeded and deterministic: the same spec yields the same
+dynamic instruction stream on every run.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, List, Optional, Tuple
+
+from repro.isa.instructions import DynInst
+from repro.isa.opclass import OpClass
+from repro.workloads.patterns import AccessPattern
+
+# Register conventions for generated code (integer file is 1..31):
+_INT_WINDOW_BASE = 1     # rotating compute destinations
+_MEM_WINDOW_BASE = 16    # rotating load destinations
+_MEM_WINDOW_SIZE = 6
+_CHASE_REG = 24          # pointer-chase chain register
+_FP_WINDOW_BASE = 33     # fp file starts at 32; 32 kept as fp scratch
+_FP_WINDOW_SIZE = 8
+
+_KIND_MEM = 0
+_KIND_INT = 1
+_KIND_FP = 2
+_KIND_BRANCH = 3
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Knobs for one synthetic workload.
+
+    Fractions are of the instruction stream (``mem_fraction``,
+    ``branch_fraction``) or of their parent category (``store_fraction`` of
+    memory ops, ``fp_fraction`` of compute ops, ...).  ``branch_bias`` sets
+    per-static-branch outcome bias; a 2-bit predictor's accuracy lands
+    close to it.  ``dependence_window`` is the number of rotating compute
+    destination registers — small windows serialise the code, large ones
+    expose ILP.
+    """
+
+    name: str
+    pattern_factory: Callable[[], AccessPattern]
+    mem_fraction: float = 0.30
+    store_fraction: float = 0.25
+    branch_fraction: float = 0.12
+    branch_bias: float = 0.90
+    fp_fraction: float = 0.0
+    fp_heavy_fraction: float = 0.0
+    imul_fraction: float = 0.02
+    idiv_fraction: float = 0.0
+    dependence_window: int = 8
+    load_use_fraction: float = 0.5
+    body_length: int = 200
+    base_pc: int = 0x10000
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.mem_fraction <= 0.8:
+            raise ValueError("mem_fraction out of range")
+        if self.mem_fraction + self.branch_fraction > 0.95:
+            raise ValueError("memory + branch fractions leave no compute")
+        if not 0.5 <= self.branch_bias <= 1.0:
+            raise ValueError("branch_bias must be in [0.5, 1.0]")
+        if not 1 <= self.dependence_window <= 12:
+            raise ValueError("dependence_window must be in [1, 12]")
+        if self.body_length < 4:
+            raise ValueError("body must have at least 4 slots")
+
+
+class SyntheticWorkload:
+    """Instantiates a spec: builds the static body, then streams DynInsts."""
+
+    def __init__(self, spec: WorkloadSpec) -> None:
+        self.spec = spec
+        self._template = self._build_template()
+
+    # -- template construction ---------------------------------------------
+    def _build_template(self) -> List[Tuple]:
+        spec = self.spec
+        rng = random.Random(spec.seed)
+        slots: List[Tuple] = []
+        for index in range(spec.body_length - 1):
+            roll = rng.random()
+            if roll < spec.mem_fraction:
+                is_store = rng.random() < spec.store_fraction
+                slots.append((_KIND_MEM, is_store))
+            elif roll < spec.mem_fraction + spec.branch_fraction:
+                taken_prob = (spec.branch_bias if rng.random() < 0.5
+                              else 1.0 - spec.branch_bias)
+                slots.append((_KIND_BRANCH, taken_prob))
+            else:
+                if rng.random() < spec.fp_fraction:
+                    if rng.random() < spec.fp_heavy_fraction:
+                        op = OpClass.FDIV if rng.random() < 0.7 else OpClass.FSQRT
+                    else:
+                        op = OpClass.FP
+                    slots.append((_KIND_FP, op))
+                else:
+                    roll2 = rng.random()
+                    if roll2 < spec.idiv_fraction:
+                        op = OpClass.IDIV
+                    elif roll2 < spec.idiv_fraction + spec.imul_fraction:
+                        op = OpClass.IMUL
+                    else:
+                        op = OpClass.IALU
+                    slots.append((_KIND_INT, op))
+        # The loop-closing backward branch: almost always taken.
+        slots.append((_KIND_BRANCH, 0.98))
+        return slots
+
+    # -- dynamic stream -------------------------------------------------------
+    def stream(self, n_instructions: int,
+               informing: bool = True) -> Iterator[DynInst]:
+        """Yield exactly *n_instructions* dynamic instructions."""
+        spec = self.spec
+        rng = random.Random(spec.seed ^ 0x5EED)
+        pattern = spec.pattern_factory()
+        pattern.reset()
+        serial_chase = pattern.serial
+        template = self._template
+        base_pc = spec.base_pc
+        window = spec.dependence_window
+        int_next = 0
+        mem_next = 0
+        fp_next = 0
+        last_load_dest: Optional[int] = None
+        recent_int: List[int] = []
+        emitted = 0
+
+        while emitted < n_instructions:
+            for index, slot in enumerate(template):
+                if emitted >= n_instructions:
+                    return
+                kind = slot[0]
+                pc = base_pc + 4 * index
+
+                if kind == _KIND_MEM:
+                    addr = pattern.next_address()
+                    if slot[1]:  # store
+                        src = recent_int[-1] if recent_int else _INT_WINDOW_BASE
+                        yield DynInst(OpClass.STORE, srcs=(src,), addr=addr,
+                                      pc=pc, informing=informing)
+                    elif serial_chase:
+                        yield DynInst(OpClass.LOAD, dest=_CHASE_REG,
+                                      srcs=(_CHASE_REG,), addr=addr, pc=pc,
+                                      informing=informing)
+                        last_load_dest = _CHASE_REG
+                    else:
+                        dest = _MEM_WINDOW_BASE + mem_next
+                        mem_next = (mem_next + 1) % _MEM_WINDOW_SIZE
+                        yield DynInst(OpClass.LOAD, dest=dest, addr=addr,
+                                      pc=pc, informing=informing)
+                        last_load_dest = dest
+                elif kind == _KIND_INT:
+                    dest = _INT_WINDOW_BASE + int_next
+                    int_next = (int_next + 1) % window
+                    srcs: Tuple[int, ...]
+                    if (last_load_dest is not None
+                            and rng.random() < spec.load_use_fraction):
+                        srcs = (last_load_dest,)
+                        last_load_dest = None
+                    elif recent_int:
+                        srcs = (recent_int[rng.randrange(len(recent_int))],)
+                    else:
+                        srcs = ()
+                    yield DynInst(slot[1], dest=dest, srcs=srcs, pc=pc)
+                    recent_int.append(dest)
+                    if len(recent_int) > window:
+                        recent_int.pop(0)
+                elif kind == _KIND_FP:
+                    dest = _FP_WINDOW_BASE + fp_next
+                    prev = _FP_WINDOW_BASE + (fp_next - 1) % _FP_WINDOW_SIZE
+                    fp_next = (fp_next + 1) % _FP_WINDOW_SIZE
+                    srcs = (prev,) if rng.random() < 0.5 else ()
+                    yield DynInst(slot[1], dest=dest, srcs=srcs, pc=pc)
+                else:  # branch
+                    taken = rng.random() < slot[1]
+                    src = recent_int[-1] if recent_int else _INT_WINDOW_BASE
+                    yield DynInst(OpClass.BRANCH, srcs=(src,), taken=taken,
+                                  pc=pc)
+                emitted += 1
+
+    # -- introspection ---------------------------------------------------------
+    def static_reference_pcs(self) -> List[int]:
+        """pcs of the static memory-reference slots (profiling ground truth)."""
+        return [self.spec.base_pc + 4 * i
+                for i, slot in enumerate(self._template)
+                if slot[0] == _KIND_MEM]
+
+    def composition(self) -> dict:
+        """Static slot counts by kind."""
+        counts = {"mem": 0, "int": 0, "fp": 0, "branch": 0}
+        names = {_KIND_MEM: "mem", _KIND_INT: "int",
+                 _KIND_FP: "fp", _KIND_BRANCH: "branch"}
+        for slot in self._template:
+            counts[names[slot[0]]] += 1
+        return counts

@@ -1,0 +1,79 @@
+"""Wrong-path instruction generation for speculation studies.
+
+The paper's out-of-order simulator fetches down mispredicted paths; our
+cores optionally do the same via a *wrong-path factory* (see
+:class:`repro.ooo.OutOfOrderCore`).  This module supplies realistic
+factories: wrong-path code looks like nearby application code — loads into
+the workload's own data neighbourhood plus compute — so speculative cache
+pollution and the Section 3.3 squash-invalidate machinery are exercised
+with plausible addresses rather than a disjoint region.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Iterator, Optional
+
+from repro.isa.instructions import DynInst
+from repro.isa.opclass import OpClass
+
+
+def make_wrong_path_factory(
+    data_base: int = 0x0100_0000,
+    data_span: int = 1 << 20,
+    mem_fraction: float = 0.3,
+    seed: int = 0xBAD,
+    offset_bias: int = 4096,
+) -> Callable[[DynInst], Iterator[DynInst]]:
+    """Build a factory producing wrong-path code near the right-path data.
+
+    Args:
+        data_base/data_span: the workload's data region; wrong-path loads
+            land inside it (biased within ``offset_bias`` bytes of a
+            random anchor per branch, the way wrong-path code typically
+            touches neighbouring structures).
+        mem_fraction: loads per wrong-path instruction.
+        seed: determinism anchor; combined with the branch pc so each
+            static branch has a stable wrong path.
+    """
+    if not 0.0 <= mem_fraction <= 0.8:
+        raise ValueError("mem_fraction out of range")
+    if data_span <= offset_bias:
+        raise ValueError("data span must exceed the offset bias")
+
+    def factory(branch_inst: DynInst) -> Iterator[DynInst]:
+        rng = random.Random(seed ^ (branch_inst.pc * 2654435761))
+        anchor = data_base + rng.randrange(0, data_span - offset_bias, 4)
+        pc = 0x00F0_0000 + (branch_inst.pc & 0xFFFF) * 4
+
+        def generate() -> Iterator[DynInst]:
+            i = 0
+            while True:
+                if rng.random() < mem_fraction:
+                    addr = anchor + rng.randrange(0, offset_bias, 4)
+                    yield DynInst(OpClass.LOAD, dest=12, addr=addr,
+                                  pc=pc + 4 * (i % 64))
+                else:
+                    yield DynInst(OpClass.IALU, dest=13, srcs=(12,),
+                                  pc=pc + 4 * (i % 64))
+                i += 1
+
+        return generate()
+
+    return factory
+
+
+def spec92_wrong_path_factory(benchmark: str, seed: int = 0xBAD
+                              ) -> Callable[[DynInst], Iterator[DynInst]]:
+    """A wrong-path factory anchored in the named benchmark's data region."""
+    from repro.workloads.spec92 import SPEC92, _REGION
+
+    if benchmark not in SPEC92:
+        raise KeyError(f"unknown benchmark {benchmark!r}")
+    spec = SPEC92[benchmark]
+    return make_wrong_path_factory(
+        data_base=_REGION[benchmark],
+        data_span=1 << 20,
+        mem_fraction=min(0.5, spec.mem_fraction),
+        seed=seed,
+    )

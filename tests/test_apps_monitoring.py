@@ -1,0 +1,100 @@
+"""Unit tests for the monitoring clients (§4.1.1)."""
+
+import pytest
+
+from repro.apps import MissCounter, MissProfiler
+from repro.isa import load, store
+from tests.helpers import make_inorder, make_ooo
+
+
+def strided_loads(n, base=0x40000, stride=64, pc=0x1000):
+    return [load(base + stride * i, dest=2, pc=pc + 4 * (i % 4))
+            for i in range(n)]
+
+
+class TestMissCounter:
+    def test_counts_match_engine(self):
+        counter = MissCounter()
+        core = make_ooo(informing=counter.informing_config())
+        core.run(strided_loads(40))
+        assert counter.misses == core.engine.invocations
+        assert counter.misses >= 40  # every line distinct
+
+    def test_by_pc_partition(self):
+        counter = MissCounter()
+        core = make_ooo(informing=counter.informing_config())
+        core.run(strided_loads(40))
+        assert sum(counter.by_pc.values()) == counter.misses
+        assert len(counter.by_pc) == 4  # four static pcs in the trace
+
+    def test_counter_on_inorder(self):
+        counter = MissCounter()
+        core = make_inorder(informing=counter.informing_config())
+        core.run(strided_loads(20))
+        assert counter.misses >= 20
+
+    def test_no_misses_no_counts(self):
+        counter = MissCounter()
+        core = make_ooo(informing=counter.informing_config())
+        trace = [load(0x100, dest=2, pc=0x1000)]
+        # Prime, then all hits.
+        core.run(trace + [load(0x100, dest=2, pc=0x2000 + 4 * i)
+                          for i in range(200)])
+        assert counter.misses == 1
+
+
+class TestMissProfiler:
+    def test_profile_counts_misses_and_references(self):
+        profiler = MissProfiler()
+        core = make_ooo(informing=profiler.informing_config())
+        trace = strided_loads(64)
+        core.run(profiler.counting_stream(iter(trace)))
+        profile = profiler.profile
+        assert profile.total_misses == 64
+        assert sum(profile.references.values()) == 64
+        # Four static references, each executed 16 times, all missing.
+        for pc in profile.references:
+            assert profile.miss_rate(pc) == pytest.approx(1.0)
+
+    def test_hottest_ranking(self):
+        profiler = MissProfiler()
+        core = make_ooo(informing=profiler.informing_config())
+        # pc 0x1000 misses constantly; pc 0x2000 always hits after priming.
+        trace = []
+        for i in range(30):
+            trace.append(load(0x80000 + 64 * i, dest=2, pc=0x1000))
+            trace.append(load(0x100, dest=3, pc=0x2000))
+        core.run(profiler.counting_stream(iter(trace)))
+        hottest = profiler.profile.hottest(1)
+        assert hottest[0][0] == 0x1000
+        assert profiler.profile.miss_rate(0x2000) < 0.2
+
+    def test_handler_cost_charged(self):
+        profiler = MissProfiler()
+        core = make_ooo(informing=profiler.informing_config())
+        stats = core.run(profiler.counting_stream(iter(strided_loads(32))))
+        # ~10-instruction handler + return jump per miss.
+        assert stats.handler_instructions >= 32 * 11
+
+    def test_collisions_detected(self):
+        profiler = MissProfiler(table_size=2)
+        core = make_ooo(informing=profiler.informing_config())
+        # Static pcs that alias in a 2-entry table.
+        trace = []
+        for i in range(16):
+            trace.append(load(0x80000 + 64 * i, dest=2, pc=0x1000))
+            trace.append(load(0xA0000 + 64 * i, dest=3, pc=0x1008))
+        core.run(profiler.counting_stream(iter(trace)))
+        assert profiler.profile.hash_collisions > 0
+
+    def test_bad_table_size(self):
+        with pytest.raises(ValueError):
+            MissProfiler(table_size=3)
+
+    def test_stores_profiled_too(self):
+        profiler = MissProfiler()
+        core = make_ooo(informing=profiler.informing_config())
+        trace = [store(0x90000 + 64 * i, pc=0x3000) for i in range(10)]
+        core.run(profiler.counting_stream(iter(trace)))
+        assert profiler.profile.references[0x3000] == 10
+        assert profiler.profile.misses[0x3000] == 10

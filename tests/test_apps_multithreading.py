@@ -1,0 +1,89 @@
+"""Unit tests for context-switch-on-miss multithreading (§4.1.3)."""
+
+import pytest
+
+from repro.apps import simulate_multithreading
+from repro.isa import alu, load
+from tests.helpers import small_hierarchy
+
+
+def memory_bound_thread(tid, n=400):
+    """Loads to fresh lines (long misses) with a little compute."""
+    def factory():
+        base = 0x1000000 * (tid + 1)
+        for i in range(n):
+            yield load(base + 64 * i, dest=2, pc=0x1000 + 8 * tid)
+            yield alu(dest=3, srcs=(2,), pc=0x1004 + 8 * tid)
+    return factory
+
+
+def compute_thread(tid, n=400):
+    def factory():
+        for i in range(n):
+            yield alu(dest=2, pc=0x2000 + 4 * tid)
+    return factory
+
+
+class TestMultithreading:
+    def test_switching_beats_blocking_on_memory_bound_threads(self):
+        blocking = simulate_multithreading(
+            [memory_bound_thread(t) for t in range(4)],
+            small_hierarchy(), switch_on_miss=False)
+        switching = simulate_multithreading(
+            [memory_bound_thread(t) for t in range(4)],
+            small_hierarchy(), switch_on_miss=True, switch_cost=24)
+        assert switching.switches > 0
+        assert switching.ipc > blocking.ipc
+
+    def test_single_thread_cannot_switch(self):
+        result = simulate_multithreading(
+            [memory_bound_thread(0)], small_hierarchy(),
+            switch_on_miss=True)
+        assert result.switches == 0
+
+    def test_huge_switch_cost_not_worth_it(self):
+        cheap = simulate_multithreading(
+            [memory_bound_thread(t) for t in range(4)],
+            small_hierarchy(), switch_cost=10)
+        expensive = simulate_multithreading(
+            [memory_bound_thread(t) for t in range(4)],
+            small_hierarchy(), switch_cost=400)
+        assert cheap.ipc > expensive.ipc
+
+    def test_secondary_only_filters_cheap_misses(self):
+        # Working set resident in L2: all misses are primary-to-L2, which
+        # secondary_only ignores.
+        def l2_thread(tid):
+            def factory():
+                base = 0x100000
+                for i in range(300):
+                    yield load(base + 64 * (i % 24), dest=2, pc=0x1000)
+            return factory
+
+        result = simulate_multithreading(
+            [l2_thread(t) for t in range(2)], small_hierarchy(),
+            secondary_only=True)
+        # After the handful of cold memory misses, no switches occur.
+        assert result.switches <= 24 * 2
+
+    def test_compute_threads_never_switch(self):
+        result = simulate_multithreading(
+            [compute_thread(t) for t in range(3)], small_hierarchy())
+        assert result.switches == 0
+        assert result.instructions == 3 * 400
+
+    def test_all_work_completes(self):
+        result = simulate_multithreading(
+            [memory_bound_thread(t, n=100) for t in range(3)],
+            small_hierarchy(), max_instructions=10_000)
+        assert result.instructions == 3 * 200
+
+    def test_empty_thread_list_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_multithreading([], small_hierarchy())
+
+    def test_overhead_accounted(self):
+        result = simulate_multithreading(
+            [memory_bound_thread(t) for t in range(4)],
+            small_hierarchy(), switch_cost=24)
+        assert result.switch_overhead_instructions == 24 * result.switches

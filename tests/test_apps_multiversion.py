@@ -1,0 +1,68 @@
+"""Unit tests for multi-version code selection (§4.1.2)."""
+
+import itertools
+
+import pytest
+
+from repro.apps import AdaptiveVersionSelector
+from repro.isa import OpClass, alu, load
+from tests.helpers import make_ooo
+
+
+def phased_workload(phases=6, phase_len=2400):
+    """Alternating cache-friendly and streaming phases."""
+    for phase in range(phases):
+        streaming = phase % 2 == 1
+        for i in range(phase_len // 2):
+            if streaming:
+                addr = 0x400000 + 0x40000 * phase + 64 * i
+            else:
+                addr = 0x1000 + 4 * (i % 64)
+            yield load(addr, dest=2, pc=0x100)
+            yield alu(dest=3, srcs=(2,), pc=0x104)
+
+
+class TestAdaptiveVersionSelector:
+    def test_switches_to_prefetch_under_misses(self):
+        selector = AdaptiveVersionSelector(
+            phased_workload(), prefetch_pcs={0x100}, window=1200,
+            miss_threshold=0.05)
+        core = make_ooo(informing=selector.informing_config())
+        core.run(selector.stream())
+        assert selector.prefetch_windows > 0
+        assert "plain" in selector.choices  # friendly phases stay plain
+
+    def test_never_switches_on_resident_workload(self):
+        resident = (load(0x1000 + 4 * (i % 32), dest=2, pc=0x100)
+                    for i in range(8000))
+        selector = AdaptiveVersionSelector(resident, {0x100}, window=1000,
+                                           miss_threshold=0.02)
+        core = make_ooo(informing=selector.informing_config())
+        core.run(selector.stream())
+        assert selector.prefetch_windows <= 1  # cold window at most
+
+    def test_prefetch_version_contains_prefetches(self):
+        streaming = (load(0x600000 + 64 * i, dest=2, pc=0x100)
+                     for i in range(6000))
+        selector = AdaptiveVersionSelector(streaming, {0x100}, window=500,
+                                           miss_threshold=0.01)
+        core = make_ooo(informing=selector.informing_config())
+        core.run(selector.stream())
+        # All-miss stream: after the first window everything is prefetch.
+        assert selector.choices[0] == "plain"
+        assert all(c == "prefetch" for c in selector.choices[2:])
+
+    def test_work_is_preserved(self):
+        trace = list(itertools.islice(phased_workload(), 6000))
+        base = make_ooo().run(iter(list(trace)))
+        selector = AdaptiveVersionSelector(iter(list(trace)), {0x100},
+                                           window=1000)
+        core = make_ooo(informing=selector.informing_config())
+        adapted = core.run(selector.stream())
+        assert adapted.app_instructions == base.app_instructions
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveVersionSelector(iter([]), set(), window=5)
+        with pytest.raises(ValueError):
+            AdaptiveVersionSelector(iter([]), set(), miss_threshold=0.0)

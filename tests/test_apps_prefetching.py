@@ -1,0 +1,125 @@
+"""Unit tests for the prefetching clients (§4.1.2)."""
+
+import pytest
+
+from repro.apps import AdaptivePrefetcher, insert_static_prefetches
+from repro.isa import OpClass, load
+from tests.helpers import make_ooo, small_hierarchy
+
+
+def OpAlu(i, src=2):
+    from repro.isa import alu
+    return alu(dest=3, srcs=(src,), pc=0x2000 + 4 * (i % 8))
+
+
+def streaming_trace(n, base=0x100000, stride=64, pc=0x1000):
+    """A strided sweep that misses every reference without prefetching."""
+    trace = []
+    for i in range(n):
+        trace.append(load(base + stride * i, dest=2, pc=pc))
+        trace.append(OpAlu(i))
+    return trace
+
+
+def l2_resident_sweep(sweeps=3, lines=96, stride=64, base=0x100000,
+                      pc=0x1000, compute=3):
+    """Repeated sweeps over a region that fits L2 but not the tiny L1.
+
+    After the first (warming) sweep every reference misses L1 and hits L2
+    at 12 cycles — the regime where a short-lead prefetch pays off and
+    memory bandwidth is not the wall.
+    """
+    trace = []
+    for s in range(sweeps):
+        for i in range(lines):
+            trace.append(load(base + stride * i, dest=2, pc=pc))
+            for c in range(compute):
+                trace.append(OpAlu(i, src=2 if c == 0 else 3))
+    return trace
+
+
+def big_l2_hierarchy():
+    from repro.memory import CacheConfig
+    from tests.helpers import small_hierarchy
+    return small_hierarchy(l1=CacheConfig(size=4 * 1024, assoc=2,
+                                          line_size=32),
+                           l2=CacheConfig(size=64 * 1024, assoc=2,
+                                          line_size=32))
+
+
+class TestAdaptivePrefetcher:
+    def test_reduces_misses_and_time_on_memory_latency_stream(self):
+        # The profitable regime for handler-launched prefetching: misses
+        # go all the way to memory (~75 cycles), and enough computation
+        # per reference that memory bandwidth is not the bottleneck and
+        # the prefetch lead covers the latency.
+        trace = l2_resident_sweep(sweeps=1, lines=300, compute=22)
+        base_core = make_ooo(hierarchy=big_l2_hierarchy())
+        base = base_core.run(list(trace))
+        pf = AdaptivePrefetcher(degree=5)
+        pf_core = make_ooo(hierarchy=big_l2_hierarchy(),
+                           informing=pf.informing_config())
+        informed = pf_core.run(list(trace))
+        base_misses = base_core.hierarchy.stats.l1_misses
+        assert pf.launched > 0
+        # Handler-launched prefetches convert most demand misses to hits.
+        assert pf_core.engine.invocations < base_misses * 0.7
+        assert informed.cycles < base.cycles
+
+    def test_stride_learned_per_pc(self):
+        pf = AdaptivePrefetcher(degree=1)
+        core = make_ooo(informing=pf.informing_config())
+        core.run(streaming_trace(60))
+        assert pf._stride.get(0x1000) == 64
+
+    def test_invalid_degree(self):
+        with pytest.raises(ValueError):
+            AdaptivePrefetcher(degree=0)
+
+    def test_prefetches_never_trap(self):
+        pf = AdaptivePrefetcher(degree=2)
+        core = make_ooo(informing=pf.informing_config())
+        core.run(streaming_trace(60))
+        # Handler bodies are prefetch+jump only; no recursive invocations
+        # from handler code itself.
+        assert pf.invocations == core.engine.invocations
+
+
+class TestStaticPrefetchInsertion:
+    def test_rewriter_inserts_before_hot_refs(self):
+        trace = [load(0x1000 * i, dest=2, pc=0x40) for i in range(5)]
+        out = list(insert_static_prefetches(iter(trace), {0x40},
+                                            distance_lines=2))
+        ops = [inst.op for inst in out]
+        assert ops.count(OpClass.PREFETCH) == 5
+        assert out[0].op is OpClass.PREFETCH
+        assert out[0].addr == trace[0].addr + 2 * 32
+
+    def test_cold_refs_untouched(self):
+        trace = [load(0x1000, dest=2, pc=0x40)]
+        out = list(insert_static_prefetches(iter(trace), {0x99}))
+        assert len(out) == 1
+
+    def test_profile_guided_flow_reduces_misses(self):
+        """Profile once, insert static prefetches, re-run: fewer misses."""
+        from repro.apps import MissProfiler
+        trace = l2_resident_sweep()
+
+        profiler = MissProfiler()
+        profile_core = make_ooo(hierarchy=big_l2_hierarchy(),
+                                informing=profiler.informing_config())
+        profile_core.run(profiler.counting_stream(iter(list(trace))))
+        hot = {pc for pc, n, _rate in profiler.profile.hottest(4) if n > 5}
+        assert 0x1000 in hot
+
+        base_core = make_ooo(hierarchy=big_l2_hierarchy())
+        base_core.run(list(trace))
+        opt_core = make_ooo(hierarchy=big_l2_hierarchy())
+        opt_core.run(insert_static_prefetches(iter(list(trace)), hot,
+                                              distance_lines=6))
+        assert (opt_core.hierarchy.stats.l1_misses
+                < base_core.hierarchy.stats.l1_misses * 0.7)
+
+    def test_invalid_distance(self):
+        with pytest.raises(ValueError):
+            list(insert_static_prefetches(iter([]), set(), distance_lines=0))

@@ -1,0 +1,91 @@
+"""Unit tests for the sampled profiler (§4.2.2's overhead remedy)."""
+
+import pytest
+
+from repro.apps import MissProfiler, SamplingController, SamplingProfiler
+from repro.core.engine import InformingEngine
+from repro.core.mechanisms import InformingConfig, Mechanism
+from repro.core.handlers import GenericHandler
+from repro.isa import OpClass, load
+from tests.helpers import make_ooo
+
+
+def miss_stream(n, pc=0x1000):
+    return [load(0x400000 + 64 * i, dest=2, pc=pc + 4 * (i % 4))
+            for i in range(n)]
+
+
+class TestSamplingController:
+    def engine(self):
+        return InformingEngine(InformingConfig(
+            mechanism=Mechanism.TRAP, handler=GenericHandler(1)))
+
+    def test_duty_cycle_toggles_engine(self):
+        controller = SamplingController(period=10, duty=0.5)
+        engine = self.engine()
+        states = []
+        for inst in controller.sampled_stream(miss_stream(40), engine):
+            if inst.op is not OpClass.MHAR_SET:
+                states.append(engine.enabled)
+        on = sum(states)
+        assert 0.35 < on / len(states) < 0.65
+        assert controller.toggles > 0
+
+    def test_toggle_instructions_injected(self):
+        controller = SamplingController(period=10, duty=0.5)
+        out = list(controller.sampled_stream(miss_stream(40), self.engine()))
+        toggles = [i for i in out if i.op is OpClass.MHAR_SET]
+        assert len(toggles) == controller.toggles
+        assert len(out) == 40 + len(toggles)
+
+    def test_full_duty_never_disables(self):
+        controller = SamplingController(period=16, duty=1.0)
+        engine = self.engine()
+        for _ in controller.sampled_stream(miss_stream(64), engine):
+            assert engine.enabled
+
+    def test_scale_factor(self):
+        assert SamplingController(period=100, duty=0.25).scale_factor == 4.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SamplingController(period=1)
+        with pytest.raises(ValueError):
+            SamplingController(duty=0.0)
+        with pytest.raises(ValueError):
+            SamplingController(duty=1.5)
+
+
+class TestSamplingProfiler:
+    def run_profiler(self, duty, n=6000):
+        sampler = SamplingProfiler(period=512, duty=duty)
+        core = make_ooo(informing=sampler.informing_config())
+        sampler.attach(core)
+        stats = core.run(sampler.instrument(iter(miss_stream(n))))
+        return sampler, stats
+
+    def test_estimate_tracks_truth(self):
+        n = 6000  # every load misses (fresh lines)
+        sampler, _ = self.run_profiler(duty=0.25, n=n)
+        estimate = sampler.estimated_total_misses
+        assert estimate == pytest.approx(n, rel=0.2)
+
+    def test_sampling_reduces_handler_work(self):
+        full, full_stats = self.run_profiler(duty=1.0)
+        quarter, quarter_stats = self.run_profiler(duty=0.25)
+        assert (quarter.profiler.profile.total_misses
+                < full.profiler.profile.total_misses * 0.5)
+        assert (quarter_stats.handler_instructions
+                < full_stats.handler_instructions * 0.5)
+
+    def test_per_pc_estimates(self):
+        sampler, _ = self.run_profiler(duty=0.5, n=4000)
+        # Four static pcs share the misses about equally.
+        estimates = [sampler.estimated_misses(0x1000 + 4 * k)
+                     for k in range(4)]
+        assert sum(estimates) == pytest.approx(4000, rel=0.25)
+
+    def test_attach_required(self):
+        sampler = SamplingProfiler()
+        with pytest.raises(RuntimeError):
+            list(sampler.instrument(iter([])))

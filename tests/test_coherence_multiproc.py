@@ -1,0 +1,147 @@
+"""Unit and integration tests for the §4.3 multiprocessor simulation."""
+
+import pytest
+
+from repro.coherence import (
+    AccessControlMethod,
+    CoherenceMachineParams,
+    MultiprocessorSim,
+    run_access_control_experiment,
+)
+from repro.workloads.parallel import BARRIER, MemRef, PARALLEL_KERNELS
+
+SMALL = CoherenceMachineParams(processors=4)
+
+
+def simple_kernel(reads=10, writes=2):
+    """Everyone reads a small shared table; proc 0 writes a block."""
+    def factory(proc, nprocs):
+        for it in range(4):
+            for b in range(reads):
+                yield MemRef(1, 0x100000 + b * 32, False, True)
+            if proc == 0:
+                for w in range(writes):
+                    yield MemRef(1, 0x100000 + w * 32, True, True)
+            yield BARRIER
+    return factory
+
+
+class TestSimulationBasics:
+    def test_all_processors_finish(self):
+        result = run_access_control_experiment(
+            simple_kernel(), AccessControlMethod.INFORMING, SMALL)
+        assert result.execution_time > 0
+        assert len(result.processors) == 4
+        assert all(p.references > 0 for p in result.processors)
+
+    def test_private_refs_skip_access_control(self):
+        def private_only(proc, nprocs):
+            for i in range(50):
+                yield MemRef(1, 0x1000000 + proc * 0x100000 + 4 * i,
+                             False, False)
+
+        for method in AccessControlMethod:
+            result = run_access_control_experiment(private_only, method, SMALL)
+            assert result.total.access_control_cycles == 0
+            assert result.total.shared_references == 0
+
+    def test_barrier_synchronises(self):
+        # One slow processor: everyone's phase ends together.
+        def skewed(proc, nprocs):
+            yield MemRef(1000 if proc == 0 else 1, 0x100000, False, True)
+            yield BARRIER
+            yield MemRef(1, 0x100020, False, True)
+
+        result = run_access_control_experiment(
+            skewed, AccessControlMethod.INFORMING, SMALL)
+        assert result.execution_time > 1000
+
+    def test_deterministic(self):
+        a = run_access_control_experiment(
+            simple_kernel(), AccessControlMethod.ECC, SMALL)
+        b = run_access_control_experiment(
+            simple_kernel(), AccessControlMethod.ECC, SMALL)
+        assert a.execution_time == b.execution_time
+
+
+class TestMethodSemantics:
+    def test_reference_checking_pays_on_every_shared_ref(self):
+        result = run_access_control_experiment(
+            simple_kernel(), AccessControlMethod.REFERENCE_CHECKING, SMALL)
+        total = result.total
+        assert total.access_control_cycles >= 18 * total.shared_references
+
+    def test_informing_pays_only_on_misses(self):
+        result = run_access_control_experiment(
+            simple_kernel(), AccessControlMethod.INFORMING, SMALL)
+        total = result.total
+        assert total.handler_invocations < total.shared_references
+        assert total.handler_invocations >= total.l1_misses * 0  # defined
+        # Lookup charged per invocation (plus state changes).
+        assert total.access_control_cycles >= 33 * total.handler_invocations
+
+    def test_ecc_faults_on_invalid_reads(self):
+        result = run_access_control_experiment(
+            simple_kernel(), AccessControlMethod.ECC, SMALL)
+        assert result.total.faults > 0
+
+    def test_ecc_spurious_write_faults(self):
+        """Writes to a READWRITE block still fault when the page holds
+        READONLY data — Blizzard-E's page-granularity cost."""
+        def kernel(proc, nprocs):
+            if proc == 0:
+                # Own block 0 READWRITE; others make block 1 (same page)
+                # READONLY at proc 0?  No — make proc 0 read block 1 so
+                # *its own* page has READONLY data, then write block 0.
+                yield MemRef(1, 0x100020, False, True)   # block 1 READONLY
+                yield MemRef(1, 0x100000, True, True)    # upgrade block 0
+                for _ in range(5):
+                    yield MemRef(1, 0x100000, True, True)  # spurious faults
+            yield BARRIER
+
+        result = run_access_control_experiment(
+            kernel, AccessControlMethod.ECC, SMALL)
+        assert result.processors[0].faults >= 6
+
+    def test_invalidation_forces_informing_recheck(self):
+        """After a remote write, the reader's next access misses and runs
+        the handler — the Section 3.3 guarantee."""
+        def kernel(proc, nprocs):
+            if proc == 0:
+                yield MemRef(1, 0x100000, False, True)   # read: READONLY
+                yield BARRIER
+                yield BARRIER
+                yield MemRef(1, 0x100000, False, True)   # must re-check
+            elif proc == 1:
+                yield BARRIER
+                yield MemRef(1, 0x100000, True, True)    # invalidate proc 0
+                yield BARRIER
+            else:
+                yield BARRIER
+                yield BARRIER
+
+        result = run_access_control_experiment(
+            kernel, AccessControlMethod.INFORMING, SMALL)
+        # proc 0: cold read handler + re-check handler.
+        assert result.processors[0].handler_invocations == 2
+        assert result.remote_invalidations == 1
+
+    def test_protocol_charges_message_latency(self):
+        result = run_access_control_experiment(
+            simple_kernel(), AccessControlMethod.INFORMING, SMALL)
+        assert result.total.protocol_cycles >= 1800  # at least one 2-hop op
+
+
+class TestFigure4Shape:
+    @pytest.mark.parametrize("workload", sorted(PARALLEL_KERNELS))
+    def test_informing_fastest_on_every_kernel(self, workload):
+        kernel = PARALLEL_KERNELS[workload]
+        times = {
+            method: run_access_control_experiment(
+                kernel, method, CoherenceMachineParams(processors=8),
+                name=workload).execution_time
+            for method in AccessControlMethod
+        }
+        informing = times[AccessControlMethod.INFORMING]
+        assert informing <= times[AccessControlMethod.REFERENCE_CHECKING]
+        assert informing <= times[AccessControlMethod.ECC]

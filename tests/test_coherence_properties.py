@@ -1,0 +1,108 @@
+"""Property-based tests of the directory protocol's invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.coherence import BlockState, DirectoryProtocol
+
+# A random sequence of (processor, block, is_write) protocol operations.
+operations = st.lists(
+    st.tuples(st.integers(0, 7), st.integers(0, 15), st.booleans()),
+    min_size=1, max_size=200)
+
+
+def run_ops(ops, procs=8):
+    protocol = DirectoryProtocol(procs, message_latency=900)
+    for proc, block, is_write in ops:
+        if is_write:
+            protocol.acquire_write(proc, block)
+        else:
+            protocol.acquire_read(proc, block)
+    return protocol
+
+
+class TestProtocolInvariants:
+    @given(operations)
+    @settings(max_examples=100)
+    def test_single_writer(self, ops):
+        """At most one processor holds a block READWRITE."""
+        protocol = run_ops(ops)
+        for block in range(16):
+            writers = [proc for proc in range(8)
+                       if protocol.state(proc, block) is BlockState.READWRITE]
+            assert len(writers) <= 1
+
+    @given(operations)
+    @settings(max_examples=100)
+    def test_writer_excludes_readers(self, ops):
+        """If a writer exists, no other processor holds any copy."""
+        protocol = run_ops(ops)
+        for block in range(16):
+            owner = protocol.owner(block)
+            if owner is None:
+                continue
+            for proc in range(8):
+                if proc != owner:
+                    assert protocol.state(proc, block) is BlockState.INVALID
+
+    @given(operations)
+    @settings(max_examples=100)
+    def test_sharers_set_matches_states(self, ops):
+        """The directory's sharer list agrees with per-processor states."""
+        protocol = run_ops(ops)
+        for block in range(16):
+            with_copy = {proc for proc in range(8)
+                         if protocol.state(proc, block)
+                         is not BlockState.INVALID}
+            assert with_copy == protocol.sharers(block)
+
+    @given(operations)
+    @settings(max_examples=100)
+    def test_owner_state_is_readwrite(self, ops):
+        protocol = run_ops(ops)
+        for block in range(16):
+            owner = protocol.owner(block)
+            if owner is not None:
+                assert protocol.state(owner, block) is BlockState.READWRITE
+
+    @given(operations)
+    @settings(max_examples=60)
+    def test_costs_are_bounded_message_multiples(self, ops):
+        """Every operation costs 0, 2 or 4 one-way message latencies."""
+        protocol = DirectoryProtocol(8, message_latency=900)
+        for proc, block, is_write in ops:
+            if is_write:
+                cost = protocol.acquire_write(proc, block)
+            else:
+                cost = protocol.acquire_read(proc, block)
+            assert cost in (0, 1800, 3600)
+
+    @given(operations)
+    @settings(max_examples=60)
+    def test_eviction_hooks_fire_exactly_per_revocation(self, ops):
+        revoked = []
+        protocol = DirectoryProtocol(8, message_latency=900)
+        protocol.eviction_hooks.append(lambda p, b: revoked.append((p, b)))
+        for proc, block, is_write in ops:
+            if is_write:
+                protocol.acquire_write(proc, block)
+            else:
+                protocol.acquire_read(proc, block)
+        assert len(revoked) == protocol.remote_invalidations
+
+    @given(operations)
+    @settings(max_examples=60)
+    def test_page_ro_counts_never_negative(self, ops):
+        protocol = run_ops(ops)
+        assert all(count >= 0 for count in protocol._ro_count.values())
+
+    @given(operations, st.integers(0, 7), st.integers(0, 15))
+    @settings(max_examples=60)
+    def test_access_after_acquire_is_adequate(self, ops, proc, block):
+        """Acquiring access always leaves the requester adequate."""
+        protocol = run_ops(ops)
+        protocol.acquire_write(proc, block)
+        assert protocol.state(proc, block) is BlockState.READWRITE
+        protocol2 = run_ops(ops)
+        protocol2.acquire_read(proc, block)
+        assert protocol2.state(proc, block) in (BlockState.READONLY,
+                                                BlockState.READWRITE)

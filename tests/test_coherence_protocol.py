@@ -1,0 +1,131 @@
+"""Unit tests for the directory protocol and protection-state table."""
+
+import pytest
+
+from repro.coherence import BlockState, DirectoryProtocol
+
+
+def make(procs=4, latency=900):
+    return DirectoryProtocol(procs, latency)
+
+
+class TestStateTable:
+    def test_initially_invalid(self):
+        protocol = make()
+        assert protocol.state(0, 5) is BlockState.INVALID
+
+    def test_block_of(self):
+        protocol = make()
+        assert protocol.block_of(0) == 0
+        assert protocol.block_of(31) == 0
+        assert protocol.block_of(32) == 1
+
+
+class TestReads:
+    def test_cold_read_two_hops(self):
+        protocol = make()
+        assert protocol.acquire_read(0, 7) == 2 * 900
+        assert protocol.state(0, 7) is BlockState.READONLY
+        assert protocol.sharers(7) == {0}
+
+    def test_reread_free(self):
+        protocol = make()
+        protocol.acquire_read(0, 7)
+        assert protocol.acquire_read(0, 7) == 0
+
+    def test_multiple_readers_share(self):
+        protocol = make()
+        protocol.acquire_read(0, 7)
+        protocol.acquire_read(1, 7)
+        assert protocol.sharers(7) == {0, 1}
+
+    def test_read_downgrades_writer(self):
+        protocol = make()
+        protocol.acquire_write(1, 7)
+        cost = protocol.acquire_read(0, 7)
+        assert cost == 4 * 900  # request/data + downgrade round trip
+        assert protocol.state(1, 7) is BlockState.READONLY
+        assert protocol.owner(7) is None
+        assert protocol.downgrades == 1
+
+
+class TestWrites:
+    def test_cold_write_two_hops(self):
+        protocol = make()
+        assert protocol.acquire_write(0, 3) == 2 * 900
+        assert protocol.state(0, 3) is BlockState.READWRITE
+        assert protocol.owner(3) == 0
+
+    def test_rewrite_free(self):
+        protocol = make()
+        protocol.acquire_write(0, 3)
+        assert protocol.acquire_write(0, 3) == 0
+
+    def test_write_invalidates_sharers(self):
+        protocol = make()
+        protocol.acquire_read(1, 3)
+        protocol.acquire_read(2, 3)
+        cost = protocol.acquire_write(0, 3)
+        assert cost == 4 * 900  # grant + one parallel invalidation round trip
+        assert protocol.state(1, 3) is BlockState.INVALID
+        assert protocol.state(2, 3) is BlockState.INVALID
+        assert protocol.remote_invalidations == 2
+
+    def test_write_steals_ownership(self):
+        protocol = make()
+        protocol.acquire_write(1, 3)
+        protocol.acquire_write(0, 3)
+        assert protocol.owner(3) == 0
+        assert protocol.state(1, 3) is BlockState.INVALID
+
+    def test_upgrade_from_readonly(self):
+        protocol = make()
+        protocol.acquire_read(0, 3)
+        protocol.acquire_read(1, 3)
+        cost = protocol.acquire_write(0, 3)
+        assert cost == 4 * 900
+        assert protocol.state(0, 3) is BlockState.READWRITE
+        assert protocol.state(1, 3) is BlockState.INVALID
+
+    def test_lone_reader_upgrade_is_two_hops(self):
+        protocol = make()
+        protocol.acquire_read(0, 3)
+        assert protocol.acquire_write(0, 3) == 2 * 900
+
+
+class TestEvictionHooks:
+    def test_hook_called_on_revoke(self):
+        protocol = make()
+        revoked = []
+        protocol.eviction_hooks.append(lambda p, b: revoked.append((p, b)))
+        protocol.acquire_read(1, 3)
+        protocol.acquire_write(0, 3)
+        assert revoked == [(1, 3)]
+
+
+class TestPageReadonlyTracking:
+    def test_page_flag_follows_state(self):
+        protocol = DirectoryProtocol(4, 900, coherence_unit=32, page_size=128)
+        addr = 0  # block 0, page 0
+        assert not protocol.page_has_readonly(0, addr)
+        protocol.acquire_read(0, 0)
+        assert protocol.page_has_readonly(0, addr)
+        protocol.acquire_write(0, 0)  # upgrade: no longer READONLY
+        assert not protocol.page_has_readonly(0, addr)
+
+    def test_page_granularity(self):
+        protocol = DirectoryProtocol(4, 900, coherence_unit=32, page_size=128)
+        protocol.acquire_read(0, 1)  # block 1 is on page 0 (4 blocks/page)
+        assert protocol.page_has_readonly(0, 64)   # other block, same page
+        assert not protocol.page_has_readonly(0, 128)  # next page
+
+    def test_per_processor_pages(self):
+        protocol = DirectoryProtocol(4, 900, coherence_unit=32, page_size=128)
+        protocol.acquire_read(0, 0)
+        assert not protocol.page_has_readonly(1, 0)
+
+    def test_invalidation_clears_page_flag(self):
+        protocol = DirectoryProtocol(4, 900, coherence_unit=32, page_size=128)
+        protocol.acquire_read(1, 0)
+        protocol.acquire_write(0, 0)  # invalidates proc 1
+        assert not protocol.page_has_readonly(1, 0)

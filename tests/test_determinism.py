@@ -1,0 +1,58 @@
+"""End-to-end determinism: identical inputs give identical simulations.
+
+Every experiment in EXPERIMENTS.md depends on this — results must be
+reproducible bit-for-bit across runs of the same seedled configuration.
+"""
+
+import pytest
+
+from repro.coherence import AccessControlMethod, run_access_control_experiment
+from repro.harness import MACHINES, build_core
+from repro.harness.runner import bar_config, run_bar
+from repro.workloads import spec92_workload
+from repro.workloads.parallel import PARALLEL_KERNELS
+
+
+def run_core(machine, bench="compress", informing=None, n=5000):
+    core = build_core(MACHINES[machine], informing=informing)
+    stats = core.run(spec92_workload(bench).stream(4 * n), max_app_insts=n)
+    return (stats.cycles, stats.app_instructions, stats.handler_instructions,
+            stats.handler_invocations, core.hierarchy.stats.l1_misses)
+
+
+class TestCoreDeterminism:
+    @pytest.mark.parametrize("machine", ["ooo", "inorder"])
+    def test_baseline_repeatable(self, machine):
+        assert run_core(machine) == run_core(machine)
+
+    @pytest.mark.parametrize("machine", ["ooo", "inorder"])
+    def test_informing_repeatable(self, machine):
+        from tests.helpers import trap_config
+        a = run_core(machine, informing=trap_config(n=10))
+        b = run_core(machine, informing=trap_config(n=10))
+        assert a == b
+
+    def test_run_bar_repeatable(self):
+        a = run_bar("su2cor", "inorder", bar_config("S10"), 4000, 1000)
+        b = run_bar("su2cor", "inorder", bar_config("S10"), 4000, 1000)
+        assert a.cycles == b.cycles
+        assert a.handler_invocations == b.handler_invocations
+
+
+class TestCoherenceDeterminism:
+    @pytest.mark.parametrize("method", list(AccessControlMethod))
+    def test_methods_repeatable(self, method):
+        kernel = PARALLEL_KERNELS["mixed"]
+        a = run_access_control_experiment(kernel, method)
+        b = run_access_control_experiment(kernel, method)
+        assert a.execution_time == b.execution_time
+        assert a.remote_invalidations == b.remote_invalidations
+
+
+class TestStreamIndependence:
+    def test_consuming_one_stream_does_not_affect_another(self):
+        workload = spec92_workload("alvinn")
+        first = [(i.op, i.addr, i.pc) for i in workload.stream(2000)]
+        # A second stream from the same workload object restarts cleanly.
+        second = [(i.op, i.addr, i.pc) for i in workload.stream(2000)]
+        assert first == second

@@ -1,0 +1,48 @@
+"""Integration tests for the CLI entry point (quick mode)."""
+
+import json
+
+import pytest
+
+from repro.harness.__main__ import main
+
+
+class TestCLITables:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "out-of-order" in out and "in-order" in out
+        assert "2MB" in out
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "900 cycles" in out
+        assert "33-cycle lookup" in out
+
+
+class TestCLIExperiments:
+    def test_figure2_subset_with_json(self, capsys, tmp_path):
+        path = tmp_path / "f2.json"
+        assert main(["figure2", "--quick", "--benchmarks", "espresso",
+                     "--json", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "espresso" in out
+        data = json.loads(path.read_text())
+        assert data["name"] == "figure2"
+        labels = {bar["label"] for bar in data["bars"]}
+        assert labels == {"N", "S1", "U1", "S10", "U10"}
+
+    def test_characterize(self, capsys):
+        assert main(["characterize", "--quick",
+                     "--benchmarks", "ora"]) == 0
+        out = capsys.readouterr().out
+        assert "memory fraction" in out
+
+    def test_handler100_quick(self, capsys):
+        assert main(["handler100", "--quick"]) == 0
+        assert "S100" in capsys.readouterr().out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure9"])

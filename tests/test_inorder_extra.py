@@ -1,0 +1,120 @@
+"""Additional in-order core coverage: FU contention, latencies, I-cache."""
+
+import pytest
+
+from repro.isa import OpClass, alu, branch, fp_op, load
+from repro.isa.instructions import DynInst
+from tests.helpers import make_inorder, small_hierarchy
+
+
+class TestFunctionalUnitContention:
+    def test_fp_ops_use_fp_units(self):
+        # Independent FP ops: 2 FP units, latency 4 (fully pipelined).
+        trace = [fp_op(dest=33 + (i % 8), pc=0x1000 + 4 * i)
+                 for i in range(200)]
+        stats = make_inorder().run(trace)
+        assert 1.5 < stats.ipc <= 2.0
+
+    def test_mixed_int_fp_exceeds_two_ipc(self):
+        # 2 INT + 2 FP independent ops per cycle can reach width 4...
+        trace = []
+        for i in range(100):
+            trace.append(alu(dest=1 + (i % 4), pc=0x1000 + 16 * i))
+            trace.append(alu(dest=5 + (i % 4), pc=0x1004 + 16 * i))
+            trace.append(fp_op(dest=33 + (i % 4), pc=0x1008 + 16 * i))
+            trace.append(fp_op(dest=37 + (i % 4), pc=0x100c + 16 * i))
+        stats = make_inorder().run(trace)
+        assert stats.ipc > 2.5
+
+    def test_memory_ops_compete_with_int(self):
+        """No dedicated memory unit: loads + int ops share the 2 int pipes."""
+        trace = []
+        for i in range(100):
+            trace.append(load(0x100, dest=16, pc=0x1000 + 12 * i))
+            trace.append(alu(dest=1, pc=0x1004 + 12 * i))
+            trace.append(alu(dest=2, pc=0x1008 + 12 * i))
+        stats = make_inorder().run(trace)
+        # 3 INT-class ops per iteration over 2 pipes: IPC caps at 2.
+        assert stats.ipc <= 2.0
+
+
+class TestLatencies:
+    def latency_of(self, op, srcs_chain=True, n=50):
+        trace = []
+        for i in range(n):
+            trace.append(DynInst(op, dest=9, srcs=(9,), pc=0x1000 + 8 * i))
+        stats = make_inorder().run(trace)
+        return stats.cycles / n
+
+    def test_idiv_dominates(self):
+        assert self.latency_of(OpClass.IDIV) >= 70
+
+    def test_imul_pipeline(self):
+        per_op = self.latency_of(OpClass.IMUL)
+        assert 10 <= per_op <= 16
+
+    def test_fdiv_in_order_is_17(self):
+        per_op = self.latency_of(OpClass.FDIV)
+        assert 15 <= per_op <= 20
+
+    def test_chained_fp_ops_cost_four(self):
+        per_op = self.latency_of(OpClass.FP)
+        assert 3.5 <= per_op <= 6
+
+
+class TestICacheEffects:
+    def test_large_loop_body_misses_icache(self):
+        # Body bigger than the 512B test I-cache: repeated I-misses.
+        hierarchy = small_hierarchy()
+        from repro.memory import CacheConfig, MemoryHierarchy
+        from tests.helpers import inorder_config
+        from repro.inorder import InOrderCore
+        hierarchy = MemoryHierarchy(
+            hierarchy.config,
+            icache=CacheConfig(size=256, assoc=1, line_size=32))
+        core = InOrderCore(inorder_config(), hierarchy)
+        # 1KB of code looped: thrashes a 256B I-cache.
+        trace = []
+        for rep in range(10):
+            for i in range(256):
+                trace.append(alu(dest=1 + (i % 8), pc=0x1000 + 4 * i))
+        core.run(trace)
+        assert hierarchy.i_misses > 100
+
+    def test_small_loop_fits(self):
+        from repro.memory import CacheConfig, MemoryHierarchy
+        from tests.helpers import inorder_config
+        from repro.inorder import InOrderCore
+        hierarchy = MemoryHierarchy(
+            small_hierarchy().config,
+            icache=CacheConfig(size=512, assoc=2, line_size=32))
+        core = InOrderCore(inorder_config(), hierarchy)
+        trace = []
+        for rep in range(20):
+            for i in range(16):
+                trace.append(alu(dest=1 + (i % 8), pc=0x1000 + 4 * i))
+        core.run(trace)
+        assert hierarchy.i_misses <= 4
+
+
+class TestStructuralStalls:
+    def test_mshr_exhaustion_stalls_issue(self):
+        hierarchy = small_hierarchy(mshr_count=1)
+        core = make_inorder(hierarchy=hierarchy)
+        trace = [load(0x40000 + 64 * i, dest=16 + (i % 6),
+                      pc=0x1000 + 4 * i) for i in range(20)]
+        stats = core.run(trace)
+        assert hierarchy.stats.mshr_stalls > 0
+        rich = make_inorder(hierarchy=small_hierarchy(mshr_count=8))
+        rich_stats = rich.run(list(trace))
+        assert rich_stats.cycles < stats.cycles
+
+    def test_bank_conflicts_counted(self):
+        hierarchy = small_hierarchy(data_banks=1)
+        core = make_inorder(hierarchy=hierarchy)
+        trace = []
+        for i in range(50):
+            trace.append(load(0x100, dest=16, pc=0x1000 + 8 * i))
+            trace.append(load(0x120, dest=17, pc=0x1004 + 8 * i))
+        core.run(trace)
+        assert hierarchy.stats.bank_conflict_cycles > 0

@@ -1,0 +1,87 @@
+"""Unit tests for the assembler and static-program representation."""
+
+import pytest
+
+from repro.isa import AssemblyError, Instruction, Label, Program, assemble
+from repro.isa.program import INST_BYTES
+from repro.isa.registers import fp_reg, int_reg
+
+
+class TestProgram:
+    def test_append_and_labels(self):
+        program = Program()
+        program.append(Label("top"))
+        program.append(Instruction("nop"))
+        assert program.target_index("top") == 0
+        assert len(program) == 1
+
+    def test_pc_spacing(self):
+        program = Program(base_pc=0x2000)
+        assert program.pc_of(3) == 0x2000 + 3 * INST_BYTES
+
+    def test_duplicate_label_rejected(self):
+        program = Program()
+        program.append(Label("x"))
+        with pytest.raises(ValueError):
+            program.append(Label("x"))
+
+    def test_undefined_label_lookup(self):
+        with pytest.raises(KeyError):
+            Program().target_index("nowhere")
+
+    def test_unknown_mnemonic_rejected(self):
+        with pytest.raises(ValueError):
+            Instruction("frobnicate")
+
+
+class TestAssembler:
+    def test_basic_program(self):
+        program = assemble(
+            """
+            # a comment line
+            start:
+                li   r1, 0x10
+                ld   r2, 4(r1)    ; inline comment
+                add  r3, r1, r2
+                bne  r3, r0, start
+                halt
+            """
+        )
+        assert len(program) == 5
+        assert program.target_index("start") == 0
+        ld = program.instructions[1]
+        assert ld.mnemonic == "ld"
+        assert ld.operands == (int_reg(2), (4, int_reg(1)))
+
+    def test_fp_registers(self):
+        program = assemble("fadd f1, f2, f3\nhalt")
+        assert program.instructions[0].operands == (
+            fp_reg(1), fp_reg(2), fp_reg(3))
+
+    def test_negative_memory_offset(self):
+        program = assemble("ld r1, -8(r2)\nhalt")
+        assert program.instructions[0].operands[1] == (-8, int_reg(2))
+
+    def test_undefined_label_is_eager_error(self):
+        with pytest.raises(AssemblyError, match="undefined label"):
+            assemble("j nowhere\nhalt")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblyError, match="expects 3 operands"):
+            assemble("add r1, r2")
+
+    def test_bad_register(self):
+        with pytest.raises(AssemblyError):
+            assemble("li r99, 1")
+
+    def test_bad_memory_operand(self):
+        with pytest.raises(AssemblyError, match="offset"):
+            assemble("ld r1, r2")
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblyError, match="unknown mnemonic"):
+            assemble("bogus r1, r2")
+
+    def test_bad_immediate(self):
+        with pytest.raises(AssemblyError, match="immediate"):
+            assemble("li r1, banana")

@@ -1,0 +1,99 @@
+"""Unit tests for the dynamic-instruction records and op classes."""
+
+import pytest
+
+from repro.isa import (
+    DynInst,
+    OpClass,
+    FUKind,
+    FU_FOR_OP,
+    alu,
+    branch,
+    fp_op,
+    is_mem_op,
+    load,
+    mhar_set,
+    mhrr_jump,
+    nop,
+    prefetch,
+    store,
+)
+from repro.isa.opclass import is_ctrl_op
+
+
+class TestOpClass:
+    def test_every_op_has_a_functional_unit(self):
+        for op in OpClass:
+            assert op in FU_FOR_OP
+
+    def test_memory_ops(self):
+        assert is_mem_op(OpClass.LOAD)
+        assert is_mem_op(OpClass.STORE)
+        assert is_mem_op(OpClass.PREFETCH)
+        assert not is_mem_op(OpClass.IALU)
+        assert not is_mem_op(OpClass.BRANCH)
+
+    def test_control_ops(self):
+        assert is_ctrl_op(OpClass.BRANCH)
+        assert is_ctrl_op(OpClass.JUMP)
+        assert is_ctrl_op(OpClass.MHRR_JUMP)
+        assert is_ctrl_op(OpClass.BLMISS)
+        assert not is_ctrl_op(OpClass.LOAD)
+
+    def test_memory_ops_use_memory_unit(self):
+        assert FU_FOR_OP[OpClass.LOAD] is FUKind.MEMORY
+        assert FU_FOR_OP[OpClass.STORE] is FUKind.MEMORY
+
+    def test_nop_uses_no_unit(self):
+        assert FU_FOR_OP[OpClass.NOP] is FUKind.NONE
+
+
+class TestDynInst:
+    def test_load_requires_address(self):
+        with pytest.raises(ValueError):
+            DynInst(OpClass.LOAD, dest=1)
+
+    def test_branch_requires_outcome(self):
+        with pytest.raises(ValueError):
+            DynInst(OpClass.BRANCH)
+
+    def test_load_constructor(self):
+        inst = load(0x100, dest=3, srcs=(4,), pc=0x40)
+        assert inst.op is OpClass.LOAD
+        assert inst.addr == 0x100
+        assert inst.dest == 3
+        assert inst.srcs == (4,)
+        assert inst.pc == 0x40
+        assert inst.informing
+        assert inst.is_mem
+        assert not inst.is_store
+
+    def test_store_constructor(self):
+        inst = store(0x200, srcs=(5,), informing=False)
+        assert inst.is_store
+        assert inst.is_mem
+        assert not inst.informing
+        assert inst.dest is None
+
+    def test_prefetch_never_informs(self):
+        assert not prefetch(0x300).informing
+
+    def test_branch_constructor(self):
+        inst = branch(True, srcs=(1, 2))
+        assert inst.taken is True
+        assert not inst.is_mem
+
+    def test_alu_and_fp(self):
+        a = alu(2, (1,))
+        assert a.op is OpClass.IALU
+        f = fp_op(40, (33, 34), op=OpClass.FDIV)
+        assert f.op is OpClass.FDIV
+
+    def test_handler_markers(self):
+        assert mhrr_jump().handler_code
+        assert not mhar_set().handler_code
+        assert nop().op is OpClass.NOP
+
+    def test_repr_is_stable(self):
+        text = repr(load(0x10, dest=1, pc=0x4))
+        assert "LOAD" in text and "a=0x10" in text

@@ -1,0 +1,138 @@
+"""Unit tests for the functional interpreter."""
+
+import pytest
+
+from repro.isa import Interpreter, OpClass, TraceLimitExceeded, assemble
+from repro.isa.registers import REG_ZERO, int_reg
+
+
+def run(text, memory=None, max_insts=100_000):
+    interp = Interpreter(assemble(text), memory=memory)
+    trace = interp.trace(max_insts)
+    return interp, trace
+
+
+class TestArithmetic:
+    def test_li_add_sub(self):
+        interp, trace = run("li r1, 7\nli r2, 5\nadd r3, r1, r2\nsub r4, r3, r2\nhalt")
+        assert interp.regs[int_reg(3)] == 12
+        assert interp.regs[int_reg(4)] == 7
+        assert all(i.op is OpClass.IALU for i in trace)
+
+    def test_logic_and_shift(self):
+        interp, _ = run(
+            "li r1, 12\nli r2, 10\nand r3, r1, r2\nor r4, r1, r2\n"
+            "xor r5, r1, r2\nsll r6, r1, 2\nsrl r7, r1, 2\nslt r8, r2, r1\nhalt"
+        )
+        regs = interp.regs
+        assert regs[int_reg(3)] == 8
+        assert regs[int_reg(4)] == 14
+        assert regs[int_reg(5)] == 6
+        assert regs[int_reg(6)] == 48
+        assert regs[int_reg(7)] == 3
+        assert regs[int_reg(8)] == 1
+
+    def test_mul_div_opclasses(self):
+        interp, trace = run("li r1, 6\nli r2, 4\nmul r3, r1, r2\ndiv r4, r3, r2\nhalt")
+        assert interp.regs[int_reg(3)] == 24
+        assert interp.regs[int_reg(4)] == 6
+        assert trace[2].op is OpClass.IMUL
+        assert trace[3].op is OpClass.IDIV
+
+    def test_divide_by_zero_yields_zero(self):
+        interp, _ = run("li r1, 5\ndiv r2, r1, r0\nhalt")
+        assert interp.regs[int_reg(2)] == 0
+
+    def test_fp_ops(self):
+        interp, trace = run(
+            "li r1, 9\nst r1, 0(r0)\nld f1, 0(r0)\n"
+            "fadd f2, f1, f1\nfmul f3, f2, f1\nfdiv f4, f3, f1\nfsqrt f5, f1\nhalt"
+        )
+        from repro.isa.registers import fp_reg
+        assert interp.regs[fp_reg(2)] == 18
+        assert interp.regs[fp_reg(3)] == 162
+        assert interp.regs[fp_reg(4)] == 18
+        assert interp.regs[fp_reg(5)] == 3
+        assert trace[-1].op is OpClass.FSQRT
+        assert trace[-2].op is OpClass.FDIV
+
+    def test_zero_register_is_immutable(self):
+        interp, _ = run("li r0, 42\nadd r1, r0, r0\nhalt")
+        assert interp.regs[REG_ZERO] == 0
+        assert interp.regs[int_reg(1)] == 0
+
+
+class TestMemory:
+    def test_store_load_roundtrip(self):
+        interp, trace = run("li r1, 0x100\nli r2, 99\nst r2, 8(r1)\nld r3, 8(r1)\nhalt")
+        assert interp.regs[int_reg(3)] == 99
+        assert trace[2].addr == 0x108
+        assert trace[3].addr == 0x108
+
+    def test_initial_memory_image(self):
+        _, trace = run("li r1, 0x40\nld r2, 0(r1)\nhalt", memory={0x40: 7})
+        assert trace[-1].op is OpClass.LOAD
+
+    def test_uninitialised_memory_reads_zero(self):
+        interp, _ = run("ld r1, 0x500(r0)\nhalt")
+        assert interp.regs[int_reg(1)] == 0
+
+    def test_prefetch_emits_nonbinding_op(self):
+        _, trace = run("li r1, 0x80\nprefetch 4(r1)\nhalt")
+        assert trace[-1].op is OpClass.PREFETCH
+        assert trace[-1].addr == 0x84
+        assert not trace[-1].informing
+
+
+class TestControlFlow:
+    def test_loop_executes_n_times(self):
+        interp, trace = run(
+            """
+            li r1, 0
+            li r2, 5
+            loop:
+                addi r1, r1, 1
+                bne r1, r2, loop
+            halt
+            """
+        )
+        assert interp.regs[int_reg(1)] == 5
+        branches = [i for i in trace if i.op is OpClass.BRANCH]
+        assert len(branches) == 5
+        assert [b.taken for b in branches] == [True] * 4 + [False]
+
+    def test_branch_variants(self):
+        interp, _ = run(
+            """
+            li r1, 3
+            li r2, 3
+            beq r1, r2, eq
+            li r9, 111
+            eq:
+            blt r1, r2, never
+            bge r1, r2, done
+            li r9, 222
+            never:
+            li r9, 333
+            done:
+            halt
+            """
+        )
+        assert interp.regs[int_reg(9)] == 0
+
+    def test_jump(self):
+        interp, trace = run("j skip\nskip:\nli r1, 1\nhalt")
+        assert interp.regs[int_reg(1)] == 1
+        assert trace[0].op is OpClass.JUMP
+
+    def test_infinite_loop_raises(self):
+        with pytest.raises(TraceLimitExceeded):
+            run("loop:\nj loop\nhalt", max_insts=100)
+
+    def test_pcs_are_distinct_per_static_instruction(self):
+        _, trace = run("li r1, 1\nli r2, 2\nhalt")
+        assert trace[0].pc != trace[1].pc
+
+    def test_falling_off_the_end_terminates(self):
+        _, trace = run("li r1, 1")
+        assert len(trace) == 1

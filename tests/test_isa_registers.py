@@ -1,0 +1,55 @@
+"""Unit tests for the register namespace and allocator."""
+
+import pytest
+
+from repro.isa.registers import (
+    NUM_INT_REGS,
+    NUM_REGS,
+    REG_ZERO,
+    RegisterAllocator,
+    fp_reg,
+    int_reg,
+    is_fp_reg,
+)
+
+
+class TestRegisterNames:
+    def test_int_and_fp_files_are_disjoint(self):
+        ints = {int_reg(i) for i in range(NUM_INT_REGS)}
+        fps = {fp_reg(i) for i in range(NUM_INT_REGS)}
+        assert not ints & fps
+        assert len(ints | fps) == NUM_REGS
+
+    def test_fp_predicate(self):
+        assert is_fp_reg(fp_reg(0))
+        assert not is_fp_reg(int_reg(31))
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            int_reg(32)
+        with pytest.raises(ValueError):
+            fp_reg(-1)
+
+
+class TestRegisterAllocator:
+    def test_round_robin(self):
+        alloc = RegisterAllocator(base=4, count=3)
+        assert [alloc.alloc() for _ in range(5)] == [4, 5, 6, 4, 5]
+
+    def test_reset(self):
+        alloc = RegisterAllocator(base=4, count=3)
+        alloc.alloc()
+        alloc.reset()
+        assert alloc.alloc() == 4
+
+    def test_never_allocates_zero_register(self):
+        with pytest.raises(ValueError):
+            RegisterAllocator(base=REG_ZERO, count=2)
+
+    def test_window_must_fit_register_file(self):
+        with pytest.raises(ValueError):
+            RegisterAllocator(base=NUM_REGS - 1, count=2)
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ValueError):
+            RegisterAllocator(base=4, count=0)

@@ -1,0 +1,84 @@
+"""Unit tests for trace serialisation."""
+
+import io
+
+import pytest
+
+from repro.isa import Interpreter, assemble, branch, load, mhrr_jump, store
+from repro.isa.tracefile import (
+    TraceFormatError,
+    format_inst,
+    parse_line,
+    read_trace,
+    write_trace,
+)
+
+
+def roundtrip(inst):
+    return parse_line(format_inst(inst))
+
+
+class TestRoundTrip:
+    def test_load(self):
+        inst = load(0x1234, dest=5, srcs=(6,), pc=0x40)
+        out = roundtrip(inst)
+        assert (out.op, out.dest, out.srcs, out.addr, out.pc) == (
+            inst.op, inst.dest, inst.srcs, inst.addr, inst.pc)
+        assert out.informing
+
+    def test_non_informing_store(self):
+        inst = store(0x200, srcs=(1, 2), pc=0x44, informing=False)
+        out = roundtrip(inst)
+        assert out.is_store and not out.informing
+        assert out.srcs == (1, 2)
+
+    def test_branch_outcomes(self):
+        for taken in (True, False):
+            out = roundtrip(branch(taken, srcs=(3,), pc=0x48))
+            assert out.taken is taken
+
+    def test_handler_code_flag(self):
+        out = roundtrip(mhrr_jump(pc=0x100))
+        assert out.handler_code
+
+    def test_full_program_roundtrip(self):
+        program = assemble("""
+            li r1, 0x100
+            li r2, 4
+            loop:
+                ld r3, 0(r1)
+                st r3, 64(r1)
+                addi r1, r1, 4
+                addi r2, r2, -1
+                bne r2, r0, loop
+            halt
+        """)
+        trace = Interpreter(program).trace()
+        buffer = io.StringIO()
+        count = write_trace(iter(trace), buffer, header="test trace")
+        assert count == len(trace)
+        buffer.seek(0)
+        restored = list(read_trace(buffer))
+        assert len(restored) == len(trace)
+        for a, b in zip(trace, restored):
+            assert (a.op, a.dest, a.srcs, a.addr, a.taken, a.pc) == (
+                b.op, b.dest, b.srcs, b.addr, b.taken, b.pc)
+
+
+class TestErrors:
+    def test_bad_op(self):
+        with pytest.raises(TraceFormatError, match="bad op"):
+            parse_line("FROB pc=0", 3)
+
+    def test_unknown_field(self):
+        with pytest.raises(TraceFormatError, match="unknown field"):
+            parse_line("IALU pc=0 zz=1", 7)
+
+    def test_semantic_error_carries_line(self):
+        with pytest.raises(TraceFormatError, match="line 9"):
+            parse_line("LOAD pc=0 d=1", 9)  # missing address
+
+    def test_comments_and_blanks_skipped(self):
+        text = "# header\n\nIALU pc=4 d=1\n"
+        restored = list(read_trace(io.StringIO(text)))
+        assert len(restored) == 1

@@ -1,0 +1,129 @@
+"""Unit tests for the set-associative cache model."""
+
+import pytest
+
+from repro.memory import Cache, CacheConfig
+
+
+def make_cache(size=256, assoc=2, line=32):
+    return Cache(CacheConfig(size=size, assoc=assoc, line_size=line))
+
+
+class TestCacheConfig:
+    def test_num_sets(self):
+        assert CacheConfig(size=32 * 1024, assoc=2, line_size=32).num_sets == 512
+
+    def test_direct_mapped(self):
+        assert CacheConfig(size=8 * 1024, assoc=1, line_size=32).num_sets == 256
+
+    def test_bad_line_size(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size=1024, assoc=2, line_size=24)
+
+    def test_bad_assoc(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size=1024, assoc=0)
+
+    def test_indivisible_size(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size=1000, assoc=2, line_size=32)
+
+
+class TestCacheBasics:
+    def test_cold_miss_then_hit(self):
+        cache = make_cache()
+        assert not cache.probe(0x100)
+        cache.fill(0x100)
+        assert cache.probe(0x100)
+
+    def test_same_line_hits(self):
+        cache = make_cache(line=32)
+        cache.fill(0x100)
+        assert cache.probe(0x100 + 31)
+        assert not cache.probe(0x100 + 32)
+
+    def test_invalidate(self):
+        cache = make_cache()
+        cache.fill(0x40)
+        assert cache.invalidate(0x40)
+        assert not cache.probe(0x40)
+        assert not cache.invalidate(0x40)
+
+    def test_contains_has_no_lru_side_effect(self):
+        cache = make_cache(size=64, assoc=2, line=32)  # one set, two ways
+        cache.fill(0x0)
+        cache.fill(0x40)
+        # contains() must not refresh 0x0; probing would.
+        assert cache.contains(0x0)
+        victim = cache.fill(0x80)
+        assert victim.line_addr == 0x0 >> 5
+
+    def test_flush(self):
+        cache = make_cache()
+        cache.fill(0x0)
+        cache.fill(0x20)
+        cache.flush()
+        assert cache.resident_lines() == 0
+
+
+class TestLRUReplacement:
+    def test_lru_victim(self):
+        cache = make_cache(size=64, assoc=2, line=32)  # one set
+        cache.fill(0x0)
+        cache.fill(0x40)
+        cache.probe(0x0)          # 0x40 becomes LRU
+        victim = cache.fill(0x80)
+        assert victim.line_addr == 0x40 >> 5
+        assert cache.probe(0x0)
+        assert cache.probe(0x80)
+
+    def test_direct_mapped_conflict(self):
+        cache = make_cache(size=64, assoc=1, line=32)  # two sets
+        cache.fill(0x0)
+        victim = cache.fill(0x40)  # same set as 0x0
+        assert victim.line_addr == 0
+        assert not cache.probe(0x0)
+
+    def test_refill_resident_line_evicts_nothing(self):
+        cache = make_cache(size=64, assoc=2, line=32)
+        cache.fill(0x0)
+        cache.fill(0x40)
+        assert cache.fill(0x0) is None
+        assert cache.resident_lines() == 2
+
+    def test_capacity_never_exceeded(self):
+        cache = make_cache(size=128, assoc=2, line=32)
+        for i in range(50):
+            cache.fill(i * 32)
+        assert cache.resident_lines() <= 4
+
+
+class TestDirtyBits:
+    def test_write_probe_sets_dirty(self):
+        cache = make_cache()
+        cache.fill(0x100)
+        cache.probe(0x100, is_write=True)
+        assert cache.is_dirty(0x100)
+
+    def test_dirty_fill(self):
+        cache = make_cache()
+        cache.fill(0x100, dirty=True)
+        assert cache.is_dirty(0x100)
+
+    def test_victim_reports_dirty(self):
+        cache = make_cache(size=32, assoc=1, line=32)
+        cache.fill(0x0, dirty=True)
+        victim = cache.fill(0x20)
+        assert victim.dirty
+
+    def test_refill_preserves_dirty(self):
+        cache = make_cache()
+        cache.fill(0x100, dirty=True)
+        cache.fill(0x100, dirty=False)
+        assert cache.is_dirty(0x100)
+
+    def test_clean_line_not_dirty(self):
+        cache = make_cache()
+        cache.fill(0x100)
+        assert not cache.is_dirty(0x100)
+        assert not cache.is_dirty(0x999)

@@ -1,0 +1,205 @@
+"""Unit tests for the two-level hierarchy timing model."""
+
+import pytest
+
+from repro.memory import CacheConfig, HierarchyConfig, MemoryHierarchy
+
+
+def small_config(**overrides):
+    params = dict(
+        l1=CacheConfig(size=256, assoc=2, line_size=32),
+        l2=CacheConfig(size=2048, assoc=2, line_size=32),
+        l1_hit_latency=2,
+        l1_to_l2_latency=12,
+        l1_to_mem_latency=75,
+        mshr_count=4,
+        data_banks=2,
+        fill_time=4,
+        mem_cycles_per_access=20,
+    )
+    params.update(overrides)
+    return HierarchyConfig(**params)
+
+
+class TestHierarchyConfig:
+    def test_line_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            HierarchyConfig(
+                l1=CacheConfig(size=256, assoc=2, line_size=32),
+                l2=CacheConfig(size=2048, assoc=2, line_size=64),
+            )
+
+    def test_latency_ordering_enforced(self):
+        with pytest.raises(ValueError):
+            small_config(l1_to_l2_latency=30, l1_to_mem_latency=10)
+
+
+class TestAccessTiming:
+    def test_cold_miss_goes_to_memory(self):
+        mem = MemoryHierarchy(small_config())
+        result = mem.access(0x1000, False, cycle=0)
+        assert result.l1_miss
+        assert result.level == 3
+        assert result.ready_cycle == 75
+
+    def test_l1_hit_after_fill(self):
+        mem = MemoryHierarchy(small_config())
+        mem.access(0x1000, False, cycle=0)
+        result = mem.access(0x1000, False, cycle=100)
+        assert not result.l1_miss
+        assert result.level == 1
+        assert result.ready_cycle == 100 + 2
+
+    def test_l2_hit_latency(self):
+        config = small_config()
+        mem = MemoryHierarchy(config)
+        mem.access(0x1000, False, cycle=0)          # fetch into L1+L2
+        # Evict 0x1000 from the tiny L1 with conflicting lines, keep L2.
+        mem.access(0x1100, False, cycle=100)
+        mem.access(0x1200, False, cycle=200)
+        mem.access(0x1300, False, cycle=300)
+        result = mem.access(0x1000, False, cycle=500)
+        assert result.level == 2
+        assert result.ready_cycle == 500 + config.l1_to_l2_latency
+
+    def test_secondary_miss_merges(self):
+        mem = MemoryHierarchy(small_config())
+        first = mem.access(0x1000, False, cycle=0)
+        second = mem.access(0x1008, False, cycle=1)  # same 32B line
+        assert second.merged
+        assert second.l1_miss
+        assert second.mshr_id == first.mshr_id
+        assert second.ready_cycle == first.ready_cycle
+        assert mem.stats.l1_secondary_misses == 1
+        assert mem.stats.l1_misses == 1
+
+    def test_mshr_exhaustion_returns_none(self):
+        mem = MemoryHierarchy(small_config(mshr_count=2))
+        assert mem.access(0x1000, False, 0) is not None
+        assert mem.access(0x2000, False, 0) is not None
+        assert mem.access(0x3000, False, 0) is None
+        assert mem.stats.mshr_stalls == 1
+        # After fills complete, capacity is available again.
+        assert mem.access(0x3000, False, 200) is not None
+
+    def test_memory_bandwidth_serialises_misses(self):
+        config = small_config(mem_cycles_per_access=20)
+        mem = MemoryHierarchy(config)
+        r1 = mem.access(0x1000, False, 0)
+        r2 = mem.access(0x2000, False, 0)
+        assert r1.ready_cycle == 75
+        assert r2.ready_cycle == 20 + 75  # queued behind the first access
+
+    def test_cycle_order_enforced(self):
+        mem = MemoryHierarchy(small_config())
+        mem.access(0x1000, False, 10)
+        with pytest.raises(ValueError):
+            mem.access(0x2000, False, 5)
+
+    def test_drain_applies_all_fills(self):
+        mem = MemoryHierarchy(small_config())
+        mem.access(0x1000, False, 0)
+        mem.drain()
+        assert mem.l1.contains(0x1000)
+        assert mem.l2.contains(0x1000)
+
+
+class TestWriteBehaviour:
+    def test_write_allocate(self):
+        mem = MemoryHierarchy(small_config())
+        result = mem.access(0x1000, True, 0)
+        assert result.l1_miss
+        mem.drain()
+        assert mem.l1.is_dirty(0x1000)
+
+    def test_write_hit_marks_dirty(self):
+        mem = MemoryHierarchy(small_config())
+        mem.access(0x1000, False, 0)
+        mem.access(0x1000, True, 100)
+        assert mem.l1.is_dirty(0x1000)
+
+    def test_dirty_eviction_counts_writeback(self):
+        mem = MemoryHierarchy(small_config())
+        mem.access(0x1000, True, 0)
+        # Three conflicting fills evict the dirty line from 2-way L1.
+        mem.access(0x1100, False, 100)
+        mem.access(0x1200, False, 200)
+        mem.access(0x1300, False, 300)
+        mem.drain()
+        assert mem.stats.writebacks_l1 >= 1
+
+
+class TestPrefetch:
+    def test_prefetch_fills_cache(self):
+        mem = MemoryHierarchy(small_config())
+        result = mem.access(0x1000, False, 0, prefetch=True)
+        assert result is not None
+        demand = mem.access(0x1000, False, 100)
+        assert not demand.l1_miss
+        assert mem.stats.prefetches == 1
+        assert mem.stats.l1_accesses == 1  # prefetch not a demand access
+
+    def test_prefetch_dropped_when_mshrs_full(self):
+        mem = MemoryHierarchy(small_config(mshr_count=1))
+        mem.access(0x1000, False, 0)
+        assert mem.access(0x2000, False, 0, prefetch=True) is None
+        assert mem.stats.prefetches_dropped == 1
+        assert mem.stats.mshr_stalls == 0
+
+
+class TestSpeculativeSquash:
+    """Section 3.3: squashed informing loads must not leave new L1 state."""
+
+    def make(self):
+        return MemoryHierarchy(small_config(), extended_mshr_lifetime=True)
+
+    def test_squash_after_fill_invalidates_l1_keeps_l2(self):
+        mem = self.make()
+        result = mem.access(0x1000, False, 0)
+        mem.access(0x5000, False, 300)  # advances time past the fill
+        mem.release_mshr(result.mshr_id, squashed=True)
+        assert not mem.l1.contains(0x1000)
+        assert mem.l2.contains(0x1000)  # effectively prefetched into L2
+        assert mem.stats.squash_invalidations == 1
+
+    def test_squash_before_fill_suppresses_install(self):
+        mem = self.make()
+        result = mem.access(0x1000, False, 0)
+        mem.release_mshr(result.mshr_id, squashed=True)  # data not back yet
+        mem.drain()
+        assert not mem.l1.contains(0x1000)
+        assert mem.l2.contains(0x1000)
+        assert mem.stats.squash_invalidations == 0
+
+    def test_graduation_keeps_line(self):
+        mem = self.make()
+        result = mem.access(0x1000, False, 0)
+        mem.drain()
+        mem.release_mshr(result.mshr_id, squashed=False)
+        assert mem.l1.contains(0x1000)
+
+    def test_pinned_entries_consume_capacity(self):
+        mem = MemoryHierarchy(small_config(mshr_count=2),
+                              extended_mshr_lifetime=True)
+        r1 = mem.access(0x1000, False, 0)
+        mem.access(0x2000, False, 0)
+        mem.drain()
+        # Both filled but neither released: file is still full.
+        assert mem.access(0x3000, False, 400) is None
+        mem.release_mshr(r1.mshr_id, squashed=False)
+        assert mem.access(0x3000, False, 401) is not None
+
+
+class TestICache:
+    def test_no_icache_is_free(self):
+        mem = MemoryHierarchy(small_config())
+        assert mem.ifetch(0x100, 5) == 5
+
+    def test_icache_miss_then_hit(self):
+        mem = MemoryHierarchy(
+            small_config(), icache=CacheConfig(size=256, assoc=2, line_size=32))
+        first = mem.ifetch(0x100, 0)
+        assert first > 0
+        assert mem.ifetch(0x100, first) == first
+        assert mem.i_misses == 1
+        assert mem.i_accesses == 2

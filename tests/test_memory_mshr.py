@@ -1,0 +1,107 @@
+"""Unit tests for the MSHR file, including Section 3.3 extended lifetime."""
+
+import pytest
+
+from repro.memory import MSHRFile
+
+
+class TestBasicLifetime:
+    def test_allocate_and_autofree(self):
+        file = MSHRFile(count=2)
+        entry = file.allocate(0x10, data_ready=50, is_write=False)
+        assert entry is not None
+        assert file.occupancy() == 1
+        file.mark_filled(entry.mshr_id)
+        assert file.occupancy() == 0
+
+    def test_capacity_limit(self):
+        file = MSHRFile(count=2)
+        assert file.allocate(1, 10, False) is not None
+        assert file.allocate(2, 10, False) is not None
+        assert file.full
+        assert file.allocate(3, 10, False) is None
+        assert file.allocation_failures == 1
+
+    def test_duplicate_line_rejected(self):
+        file = MSHRFile(count=4)
+        file.allocate(0x10, 50, False)
+        with pytest.raises(ValueError):
+            file.allocate(0x10, 60, False)
+
+    def test_merge_secondary_miss(self):
+        file = MSHRFile(count=2)
+        entry = file.allocate(0x10, 50, is_write=False)
+        merged = file.merge(0x10, is_write=True)
+        assert merged is entry
+        assert entry.merged == 1
+        assert entry.is_write  # write merged into a read miss
+
+    def test_merge_unknown_line(self):
+        with pytest.raises(KeyError):
+            MSHRFile(count=2).merge(0x99, False)
+
+    def test_high_water_mark(self):
+        file = MSHRFile(count=4)
+        a = file.allocate(1, 10, False)
+        file.allocate(2, 10, False)
+        file.mark_filled(a.mshr_id)
+        file.allocate(3, 10, False)
+        assert file.high_water == 2
+
+    def test_bad_count(self):
+        with pytest.raises(ValueError):
+            MSHRFile(count=0)
+
+    def test_flush(self):
+        file = MSHRFile(count=2)
+        file.allocate(1, 10, False)
+        file.flush()
+        assert file.occupancy() == 0
+
+
+class TestExtendedLifetime:
+    def test_pinned_entry_survives_fill(self):
+        file = MSHRFile(count=2, extended_lifetime=True)
+        entry = file.allocate(0x10, 50, False)
+        file.mark_filled(entry.mshr_id)
+        assert file.occupancy() == 1  # still pinned
+
+    def test_graduate_release(self):
+        file = MSHRFile(count=2, extended_lifetime=True)
+        entry = file.allocate(0x10, 50, False)
+        file.mark_filled(entry.mshr_id)
+        assert file.release(entry.mshr_id, squashed=False) is None
+        assert file.occupancy() == 0
+
+    def test_squash_after_fill_requests_invalidation(self):
+        file = MSHRFile(count=2, extended_lifetime=True)
+        entry = file.allocate(0x10, 50, False)
+        file.mark_filled(entry.mshr_id)
+        assert file.release(entry.mshr_id, squashed=True) == 0x10
+
+    def test_squash_before_fill_requests_nothing(self):
+        file = MSHRFile(count=2, extended_lifetime=True)
+        entry = file.allocate(0x10, 50, False)
+        assert file.release(entry.mshr_id, squashed=True) is None
+        assert file.occupancy() == 0
+
+    def test_filled_entry_stops_being_merge_target(self):
+        file = MSHRFile(count=4, extended_lifetime=True)
+        entry = file.allocate(0x10, 50, False)
+        file.mark_filled(entry.mshr_id)
+        # The line filled and might since have been evicted: a new miss
+        # must be able to allocate a fresh entry rather than merge.
+        assert file.lookup(0x10) is None
+        second = file.allocate(0x10, 90, False)
+        assert second is not None
+        assert file.occupancy() == 2
+
+    def test_release_unpinned_entry_rejected(self):
+        file = MSHRFile(count=2, extended_lifetime=False)
+        entry = file.allocate(0x10, 50, False)
+        with pytest.raises(ValueError):
+            file.release(entry.mshr_id, squashed=False)
+
+    def test_release_unknown_id_is_noop(self):
+        file = MSHRFile(count=2, extended_lifetime=True)
+        assert file.release(123, squashed=True) is None

@@ -1,0 +1,74 @@
+"""Unit tests for the [Jou90] victim cache."""
+
+import pytest
+
+from repro.memory import CacheConfig
+from repro.memory.cache import EvictedLine
+from repro.memory.victim_cache import VictimCache, VictimCachedL1
+
+DM = CacheConfig(size=1024, assoc=1, line_size=32)
+
+
+class TestVictimCache:
+    def test_insert_then_probe_hits(self):
+        victim = VictimCache(entries=4)
+        victim.insert(EvictedLine(0x100 >> 5, dirty=False))
+        assert victim.probe(0x100)
+
+    def test_probe_consumes(self):
+        victim = VictimCache(entries=4)
+        victim.insert(EvictedLine(0x100 >> 5, dirty=False))
+        assert victim.probe(0x100)
+        assert not victim.probe(0x100)
+
+    def test_capacity_fifo(self):
+        victim = VictimCache(entries=2)
+        for i in range(3):
+            victim.insert(EvictedLine(i, dirty=False))
+        assert victim.occupancy == 2
+        assert not victim.probe(0)        # oldest evicted
+        assert victim.probe(1 << 5)
+
+    def test_stats(self):
+        victim = VictimCache(entries=2)
+        victim.insert(EvictedLine(1, dirty=False))
+        victim.probe(1 << 5)
+        victim.probe(0x9999 << 5)
+        assert victim.hits == 1
+        assert victim.probes == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VictimCache(entries=0)
+
+    def test_flush(self):
+        victim = VictimCache(entries=2)
+        victim.insert(EvictedLine(1, dirty=False))
+        victim.flush()
+        assert victim.occupancy == 0
+
+
+class TestVictimCachedL1:
+    def test_conflict_pingpong_rescued(self):
+        """Two lines in one DM set alternate: without a victim cache every
+        access misses; with one, steady state is all victim hits."""
+        front = VictimCachedL1(DM, victim_entries=4)
+        a, b = 0x0, 0x400  # same set in a 1KB DM cache
+        outcomes = [front.access(addr) for _ in range(20)
+                    for addr in (a, b)]
+        steady = outcomes[4:]
+        assert all(result == VictimCachedL1.VICTIM_HIT for result in steady)
+
+    def test_working_set_beyond_victim_capacity_still_misses(self):
+        front = VictimCachedL1(DM, victim_entries=2)
+        addrs = [0x400 * k for k in range(6)]  # six-way conflict
+        for _ in range(5):
+            for addr in addrs:
+                front.access(addr)
+        assert front.victim.hits == 0
+
+    def test_plain_hits_bypass_victim(self):
+        front = VictimCachedL1(DM, victim_entries=2)
+        front.access(0x40)
+        assert front.access(0x40) == VictimCachedL1.L1_HIT
+        assert front.victim.probes == 1  # only the initial miss probed

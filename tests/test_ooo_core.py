@@ -1,0 +1,243 @@
+"""Unit tests for the out-of-order (R10000-like) core."""
+
+import pytest
+
+from repro.core import TrapStyle, add_cc_checks
+from repro.isa import alu, branch, load, store
+from tests.helpers import (
+    cc_config,
+    make_inorder,
+    make_ooo,
+    small_hierarchy,
+    trap_config,
+)
+
+
+def independent_alus(n, pc_base=0x1000):
+    return [alu(dest=1 + (i % 8), pc=pc_base + 4 * i) for i in range(n)]
+
+
+def miss_chain_trace(n, stride=64, base=0x40000, pc_base=0x1000):
+    """Loads to fresh lines, each followed by a dependent use."""
+    trace = []
+    for i in range(n):
+        trace.append(load(base + stride * i, dest=2, pc=pc_base + 8 * i))
+        trace.append(alu(dest=3, srcs=(2,), pc=pc_base + 4 + 8 * i))
+    return trace
+
+
+class TestBasicTiming:
+    def test_independent_alu_throughput(self):
+        stats = make_ooo().run(independent_alus(400))
+        assert stats.app_instructions == 400
+        assert 1.7 < stats.ipc <= 2.0  # 2 integer units
+
+    def test_ooo_hides_miss_latency_better_than_inorder(self):
+        # A pointer-ish serial miss chain mixed with independent FP work.
+        trace = []
+        for i in range(60):
+            trace.append(load(0x40000 + 64 * i, dest=2, pc=0x1000 + 16 * i))
+            trace.append(alu(dest=3, srcs=(2,), pc=0x1004 + 16 * i))
+            trace.append(alu(dest=4 + (i % 4), pc=0x1008 + 16 * i))
+            trace.append(alu(dest=8 + (i % 4), pc=0x100c + 16 * i))
+        ooo_stats = make_ooo().run(list(trace))
+        ino_stats = make_inorder().run(list(trace))
+        assert ooo_stats.cycles < ino_stats.cycles
+
+    def test_rob_bounds_lookahead(self):
+        # A long-latency head blocks graduation; ROB fills; fetch stalls.
+        trace = [load(0x70000, dest=2, pc=0x1000)]
+        trace += independent_alus(100, pc_base=0x2000)
+        small = make_ooo(rob_size=8).run(list(trace))
+        big = make_ooo(rob_size=32).run(list(trace))
+        assert big.cycles <= small.cycles
+
+    def test_mispredict_restarts_fetch(self):
+        import random
+        rng = random.Random(3)
+        trace = []
+        for i in range(200):
+            trace.append(branch(rng.random() < 0.5, pc=0x1000 + 8 * i))
+            trace.append(alu(dest=1, pc=0x1004 + 8 * i))
+        stats = make_ooo().run(trace)
+        assert stats.branch_mispredicts > 40
+        assert stats.app_instructions == 400
+
+    def test_shadow_state_limits_branch_lookahead(self):
+        # Many predictable branches in flight: fewer shadow slots, slower.
+        trace = []
+        for i in range(300):
+            trace.append(branch(False, pc=0x1000 + 8 * i))
+            trace.append(load(0x40000 + 64 * i, dest=1, pc=0x1004 + 8 * i))
+        tight = make_ooo(shadow_branches=1).run(list(trace))
+        loose = make_ooo(shadow_branches=8).run(list(trace))
+        assert loose.cycles <= tight.cycles
+
+    def test_graduation_blames_cache_for_head_miss(self):
+        stats = make_ooo().run(miss_chain_trace(50))
+        assert stats.cache_stall_slots > 0
+
+    def test_stores_graduate_quickly(self):
+        trace = [store(0x50000 + 64 * i, pc=0x1000 + 4 * i) for i in range(8)]
+        trace += independent_alus(40, pc_base=0x2000)
+        stats = make_ooo().run(trace)
+        assert stats.cycles < 120
+
+
+class TestInformingTraps:
+    def test_branch_like_invokes_handler_per_miss(self):
+        trace = [load(0x40000 + 64 * i, dest=2, pc=0x1000 + 4 * i)
+                 for i in range(25)]
+        core = make_ooo(informing=trap_config(n=1))
+        stats = core.run(trace)
+        assert core.engine.invocations >= 25
+        assert stats.handler_invocations == core.engine.invocations
+
+    def test_exception_like_slower_than_branch_like(self):
+        trace = miss_chain_trace(60)
+        br = make_ooo(informing=trap_config(n=10)).run(list(trace))
+        ex = make_ooo(
+            informing=trap_config(n=10, style=TrapStyle.EXCEPTION_LIKE)
+        ).run(list(trace))
+        assert ex.cycles > br.cycles
+
+    def test_handler_work_counted_separately(self):
+        trace = [load(0x40000 + 64 * i, dest=2, pc=0x1000 + 4 * i)
+                 for i in range(20)]
+        base = make_ooo().run(list(trace))
+        informed = make_ooo(informing=trap_config(n=10)).run(list(trace))
+        assert informed.app_instructions == base.app_instructions == 20
+        assert informed.handler_instructions >= 20 * 11
+
+    def test_app_results_identical_under_informing(self):
+        trace = miss_chain_trace(40) + independent_alus(60, 0x9000)
+        base = make_ooo().run(list(trace))
+        informed = make_ooo(informing=trap_config(n=1)).run(list(trace))
+        assert informed.app_instructions == base.app_instructions
+
+    def test_single_handler_serialises_unique_does_not(self):
+        # Two misses in quick succession: chained single-handler
+        # invocations depend on each other; unique handlers do not.
+        trace = miss_chain_trace(60)
+        single = make_ooo(informing=trap_config(n=10, unique=False)
+                          ).run(list(trace))
+        unique_stats = make_ooo(informing=trap_config(n=10, unique=True)
+                                ).run(list(trace))
+        # Both run; unique must never be slower by much.
+        assert unique_stats.cycles <= single.cycles * 1.1
+
+    def test_cc_checks_work_on_ooo(self):
+        trace = [load(0x40000 + 64 * i, dest=2, pc=0x1000 + 8 * i)
+                 for i in range(20)]
+        core = make_ooo(informing=cc_config(n=1))
+        stats = core.run(add_cc_checks(iter(trace)))
+        assert core.engine.invocations >= 20
+        assert stats.app_instructions == 20
+
+    def test_disabled_engine_adds_no_cycles(self):
+        trace = miss_chain_trace(40)
+        base = make_ooo().run(list(trace))
+        core = make_ooo(informing=trap_config(n=10))
+        core.engine.disable()
+        disabled = core.run(list(trace))
+        assert disabled.cycles == base.cycles
+        assert core.engine.invocations == 0
+
+
+class TestWrongPath:
+    @staticmethod
+    def wrong_path_factory(branch_inst):
+        base = 0x90000 + (branch_inst.pc & 0xFFF) * 64
+
+        def generate():
+            i = 0
+            while True:
+                yield load(base + 64 * i, dest=5, pc=0xF000 + 4 * i)
+                yield alu(dest=6, srcs=(5,), pc=0xF100 + 4 * i)
+                i += 1
+
+        return generate()
+
+    def mispredicting_trace(self, n=60):
+        import random
+        rng = random.Random(11)
+        trace = []
+        for i in range(n):
+            trace.append(branch(rng.random() < 0.5, pc=0x1000 + 8 * i))
+            trace.append(alu(dest=1, pc=0x1004 + 8 * i))
+        return trace
+
+    def test_wrong_path_instructions_squashed_not_committed(self):
+        core = make_ooo(wrong_path_factory=self.wrong_path_factory)
+        stats = core.run(self.mispredicting_trace())
+        assert core.wrong_path_squashed > 0
+        assert stats.app_instructions == 120
+
+    def test_wrong_path_loads_pollute_without_guarantee(self):
+        hierarchy = small_hierarchy(extended=False)
+        core = make_ooo(hierarchy=hierarchy,
+                        wrong_path_factory=self.wrong_path_factory)
+        core.run(self.mispredicting_trace())
+        hierarchy.drain()
+        # Speculative wrong-path fills silently landed in L1.
+        assert hierarchy.stats.squash_invalidations == 0
+
+    def slow_resolve_trace(self, n=40):
+        """Mispredicting branches that resolve only after ~150 cycles
+        (a divide chain), so wrong-path fills land before the squash."""
+        import random
+        from repro.isa import OpClass
+        from repro.isa.instructions import DynInst
+        rng = random.Random(5)
+        trace = []
+        for i in range(n):
+            pc = 0x1000 + 16 * i
+            trace.append(DynInst(OpClass.IDIV, dest=9, srcs=(1,), pc=pc))
+            trace.append(DynInst(OpClass.IDIV, dest=9, srcs=(9,), pc=pc + 4))
+            trace.append(branch(rng.random() < 0.5, srcs=(9,), pc=pc + 8))
+            trace.append(alu(dest=1, pc=pc + 12))
+        return trace
+
+    def test_extended_mshrs_invalidate_squashed_fills(self):
+        hierarchy = small_hierarchy(extended=True)
+        core = make_ooo(hierarchy=hierarchy,
+                        wrong_path_factory=self.wrong_path_factory)
+        core.run(self.slow_resolve_trace())
+        assert core.wrong_path_squashed > 0
+        # Fills that landed before the squash were invalidated out of L1
+        # (the Section 3.3 guarantee)...
+        assert hierarchy.stats.squash_invalidations > 0
+        assert hierarchy.mshrs.high_water <= 8
+
+    def test_squashed_fill_leaves_data_in_l2(self):
+        """The invalidated wrong-path line survives in L2 — the paper's
+        'effectively prefetched into the second-level cache'."""
+        hierarchy = small_hierarchy(extended=True)
+        addrs = []
+
+        def factory(branch_inst):
+            base = 0xA0000 + (branch_inst.pc & 0xFF) * 0x100
+
+            def generate():
+                i = 0
+                while True:
+                    addrs.append(base + 64 * i)
+                    yield load(base + 64 * i, dest=5, pc=0xF000 + 4 * i)
+                    i += 1
+
+            return generate()
+
+        core = make_ooo(hierarchy=hierarchy, wrong_path_factory=factory)
+        core.run(self.slow_resolve_trace())
+        hierarchy.drain()
+        if hierarchy.stats.squash_invalidations:
+            in_l2 = sum(1 for a in set(addrs) if hierarchy.l2.contains(a))
+            assert in_l2 > 0
+
+    def test_mshrs_all_released_at_end(self):
+        hierarchy = small_hierarchy(extended=True)
+        core = make_ooo(hierarchy=hierarchy,
+                        wrong_path_factory=self.wrong_path_factory,
+                        informing=trap_config(n=1))
+        core.run(self.mispredicting_trace())
+        assert hierarchy.mshrs.occupancy() == 0

@@ -1,0 +1,148 @@
+"""Additional out-of-order core coverage: renaming, ROB, graduation."""
+
+import pytest
+
+from repro.isa import OpClass, alu, branch, load, store
+from repro.isa.instructions import DynInst
+from tests.helpers import make_inorder, make_ooo, small_hierarchy, trap_config
+
+
+class TestRenaming:
+    def test_false_dependences_removed(self):
+        """WAW/WAR on one register do not serialise an OoO machine."""
+        # Every op writes r1 but reads nothing: fully parallel after rename.
+        trace = [alu(dest=1, pc=0x1000 + 4 * i) for i in range(200)]
+        ooo = make_ooo().run(list(trace))
+        assert ooo.ipc > 1.7  # 2 int units
+
+    def test_true_dependences_respected(self):
+        trace = [alu(dest=1, srcs=(1,), pc=0x1000 + 4 * i)
+                 for i in range(200)]
+        stats = make_ooo().run(trace)
+        assert stats.ipc <= 1.05
+
+    def test_loads_feed_consumers_out_of_order(self):
+        """A late miss does not block independent younger work."""
+        trace = [load(0x40000, dest=2, pc=0x1000)]           # long miss
+        trace += [alu(dest=4 + (i % 8), pc=0x2000 + 4 * i)   # independent
+                  for i in range(24)]
+        trace += [alu(dest=3, srcs=(2,), pc=0x3000)]          # dependent
+        stats = make_ooo().run(trace)
+        # The 24 independent ops fit inside the ~75-cycle miss shadow.
+        assert stats.cycles < 75 + 40
+
+
+class TestGraduation:
+    def test_in_order_graduation_blocks_on_head(self):
+        """Younger completed work cannot graduate past a missing head."""
+        trace = [load(0x40000, dest=2, pc=0x1000)]
+        trace += [alu(dest=4, pc=0x2000 + 4 * i) for i in range(8)]
+        stats = make_ooo().run(trace)
+        # All 9 instructions graduate only after the miss returns.
+        assert stats.cycles >= 75
+
+    def test_graduation_width_bounds_ipc(self):
+        trace = []
+        for i in range(100):
+            for k in range(6):
+                trace.append(alu(dest=1 + k, pc=0x1000 + 4 * (6 * i + k)))
+        stats = make_ooo(int_units=6, issue_width=4).run(trace)
+        assert stats.ipc <= 4.0
+
+
+class TestStores:
+    def test_store_data_dependence(self):
+        """A store's data register dependence delays its issue, not its
+        graduation semantics."""
+        trace = [DynInst(OpClass.IDIV, dest=9, srcs=(1,), pc=0x1000),
+                 store(0x100, srcs=(9,), pc=0x1004),
+                 alu(dest=2, pc=0x1008)]
+        stats = make_ooo().run(trace)
+        assert stats.cycles >= 76  # waits for the divide
+
+    def test_write_allocate_fetches_line(self):
+        hierarchy = small_hierarchy()
+        core = make_ooo(hierarchy=hierarchy)
+        core.run([store(0x40000, pc=0x1000)])
+        hierarchy.drain()
+        assert hierarchy.l1.contains(0x40000)
+        assert hierarchy.l1.is_dirty(0x40000)
+
+
+class TestTrapEdgeCases:
+    def test_trap_on_final_instruction(self):
+        """An informing miss on the last instruction still runs its handler."""
+        core = make_ooo(informing=trap_config(n=3))
+        stats = core.run([load(0x40000, dest=2, pc=0x1000)])
+        assert core.engine.invocations == 1
+        assert stats.handler_instructions == 4
+
+    def test_exception_style_trap_on_final_instruction(self):
+        from repro.core import TrapStyle
+        core = make_ooo(informing=trap_config(n=3,
+                                              style=TrapStyle.EXCEPTION_LIKE))
+        stats = core.run([load(0x40000, dest=2, pc=0x1000)])
+        assert core.engine.invocations == 1
+
+    def test_back_to_back_informing_misses(self):
+        core = make_ooo(informing=trap_config(n=1))
+        trace = [load(0x40000 + 64 * i, dest=2, pc=0x1000 + 4 * i)
+                 for i in range(6)]
+        stats = core.run(trace)
+        assert core.engine.invocations == 6
+        assert stats.app_instructions == 6
+
+    def test_store_misses_trap_too(self):
+        """Section 3.1: the replay trap occurs for loads *and* stores."""
+        core = make_ooo(informing=trap_config(n=1))
+        trace = [store(0x40000 + 64 * i, pc=0x1000 + 4 * i)
+                 for i in range(5)]
+        core.run(trace)
+        assert core.engine.invocations == 5
+
+    def test_inorder_store_misses_trap_too(self):
+        core = make_inorder(informing=trap_config(n=1))
+        trace = [store(0x40000 + 64 * i, pc=0x1000 + 4 * i)
+                 for i in range(5)]
+        core.run(trace)
+        assert core.engine.invocations == 5
+
+    def test_handler_miss_does_not_recurse(self):
+        """A coherence-style handler that itself loads (and misses) must
+        not re-trap — handler code runs with the MHAR disabled."""
+        from repro.core import CallbackHandler, InformingConfig, Mechanism
+        from repro.isa.instructions import DynInst as DI
+
+        def handler_body(ref):
+            inner = DI(OpClass.LOAD, dest=26, addr=0x90000, pc=0x8000,
+                       informing=False, handler_code=True)
+            return [inner]
+
+        config = InformingConfig(
+            mechanism=Mechanism.TRAP, handler=CallbackHandler(handler_body))
+        core = make_ooo(informing=config)
+        core.run([load(0x40000, dest=2, pc=0x1000)])
+        assert core.engine.invocations == 1  # no recursion
+
+    def test_trap_handler_stream_interleave_under_pressure(self):
+        """Dense misses with a long handler still preserve program order."""
+        core = make_ooo(informing=trap_config(n=10))
+        trace = []
+        for i in range(30):
+            trace.append(load(0x40000 + 64 * i, dest=2, pc=0x1000 + 8 * i))
+            trace.append(alu(dest=3, srcs=(2,), pc=0x1004 + 8 * i))
+        stats = core.run(trace)
+        assert stats.app_instructions == 60
+
+
+class TestShadowStateEdge:
+    def test_shadow_slots_cap_inflight_branches(self):
+        # With 1 shadow slot, a second branch cannot be fetched until the
+        # first resolves; with 8 slots fetch runs ahead.
+        trace = []
+        for i in range(200):
+            trace.append(branch(False, pc=0x1000 + 8 * i))
+            trace.append(alu(dest=1 + (i % 4), pc=0x1004 + 8 * i))
+        tight = make_ooo(shadow_branches=1).run(list(trace))
+        loose = make_ooo(shadow_branches=8).run(list(trace))
+        assert loose.cycles < tight.cycles

@@ -1,0 +1,125 @@
+"""Unit tests for FU availability, latency tables and graduation stats."""
+
+import pytest
+
+from repro.isa.opclass import FUKind, OpClass
+from repro.pipeline import CoreConfig, FUPool, GraduationStats, LatencyTable
+
+
+class TestLatencyTable:
+    def test_table1_out_of_order_latencies(self):
+        table = LatencyTable(imul=12, idiv=76, fdiv=15, fsqrt=20, fp_other=2)
+        assert table.latency_of(OpClass.IMUL) == 12
+        assert table.latency_of(OpClass.IDIV) == 76
+        assert table.latency_of(OpClass.FDIV) == 15
+        assert table.latency_of(OpClass.FSQRT) == 20
+        assert table.latency_of(OpClass.FP) == 2
+
+    def test_single_cycle_classes(self):
+        table = LatencyTable()
+        for op in (OpClass.IALU, OpClass.BRANCH, OpClass.MHAR_SET,
+                   OpClass.MHRR_JUMP, OpClass.BLMISS, OpClass.NOP,
+                   OpClass.LOAD, OpClass.STORE):
+            assert table.latency_of(op) == 1
+
+
+class TestCoreConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CoreConfig(name="bad", issue_width=0)
+        with pytest.raises(ValueError):
+            CoreConfig(name="bad", int_units=0)
+        with pytest.raises(ValueError):
+            CoreConfig(name="bad", mispredict_penalty=-1)
+
+
+class TestFUPool:
+    def make(self, **kw):
+        return FUPool(CoreConfig(name="t", **kw))
+
+    def test_int_units_exhaust(self):
+        pool = self.make(int_units=2)
+        pool.new_cycle()
+        assert pool.try_take(FUKind.INT)
+        assert pool.try_take(FUKind.INT)
+        assert not pool.try_take(FUKind.INT)
+
+    def test_new_cycle_resets(self):
+        pool = self.make(int_units=1)
+        pool.new_cycle()
+        assert pool.try_take(FUKind.INT)
+        pool.new_cycle()
+        assert pool.try_take(FUKind.INT)
+
+    def test_none_kind_is_free(self):
+        pool = self.make()
+        pool.new_cycle()
+        for _ in range(10):
+            assert pool.try_take(FUKind.NONE)
+
+    def test_memory_on_integer_pipes_when_no_mem_unit(self):
+        pool = self.make(int_units=2, mem_units=0)
+        pool.new_cycle()
+        assert pool.try_take(FUKind.MEMORY)
+        assert pool.try_take(FUKind.INT)
+        assert not pool.try_take(FUKind.MEMORY)  # both int pipes consumed
+        assert pool.available(FUKind.MEMORY) == 0
+
+    def test_dedicated_memory_unit(self):
+        pool = self.make(mem_units=1)
+        pool.new_cycle()
+        assert pool.try_take(FUKind.MEMORY)
+        assert not pool.try_take(FUKind.MEMORY)
+        assert pool.try_take(FUKind.INT)  # unaffected
+
+
+class TestGraduationStats:
+    def test_slot_accounting(self):
+        stats = GraduationStats(width=4)
+        stats.record_cycle(4, cache_blame=False)
+        stats.record_cycle(1, cache_blame=True)
+        stats.record_cycle(0, cache_blame=False)
+        assert stats.cycles == 3
+        assert stats.total_slots == 12
+        assert stats.busy_slots == 5
+        assert stats.cache_stall_slots == 3
+        assert stats.other_stall_slots == 4
+
+    def test_breakdown_sums_to_one(self):
+        stats = GraduationStats(width=4)
+        stats.record_cycle(2, cache_blame=True)
+        stats.record_cycle(3, cache_blame=False)
+        breakdown = stats.breakdown()
+        assert sum(breakdown.values()) == pytest.approx(1.0)
+
+    def test_ipc(self):
+        stats = GraduationStats(width=4)
+        stats.record_cycle(4, False)
+        stats.record_cycle(2, False)
+        assert stats.ipc == pytest.approx(3.0)
+
+    def test_overflow_rejected(self):
+        stats = GraduationStats(width=4)
+        with pytest.raises(ValueError):
+            stats.record_cycle(5, False)
+
+    def test_normalization(self):
+        base = GraduationStats(width=4)
+        run = GraduationStats(width=4)
+        for _ in range(10):
+            base.record_cycle(4, False)
+        for _ in range(13):
+            run.record_cycle(3, False)
+        assert run.normalized_to(base) == pytest.approx(1.3)
+
+    def test_normalization_width_mismatch(self):
+        base = GraduationStats(width=2)
+        run = GraduationStats(width=4)
+        base.record_cycle(1, False)
+        with pytest.raises(ValueError):
+            run.normalized_to(base)
+
+    def test_empty_breakdown(self):
+        stats = GraduationStats(width=4)
+        assert stats.breakdown() == {
+            "busy": 0.0, "cache_stall": 0.0, "other_stall": 0.0}

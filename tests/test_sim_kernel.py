@@ -1,0 +1,200 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim import Barrier, Event, SimError, Simulator
+
+
+class TestDelays:
+    def test_single_process_advances_time(self):
+        sim = Simulator()
+        log = []
+
+        def proc():
+            yield 10
+            log.append(sim.now)
+            yield 5
+            log.append(sim.now)
+
+        sim.spawn(proc())
+        assert sim.run() == 15
+        assert log == [10, 15]
+
+    def test_interleaving_is_time_ordered(self):
+        sim = Simulator()
+        log = []
+
+        def proc(name, delay):
+            yield delay
+            log.append((sim.now, name))
+            yield delay
+            log.append((sim.now, name))
+
+        sim.spawn(proc("a", 3))
+        sim.spawn(proc("b", 5))
+        sim.run()
+        assert log == [(3, "a"), (5, "b"), (6, "a"), (10, "b")]
+
+    def test_zero_delay_keeps_time(self):
+        sim = Simulator()
+
+        def proc():
+            yield 0
+            assert sim.now == 0
+
+        sim.spawn(proc())
+        sim.run()
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+
+        def proc():
+            yield -1
+
+        sim.spawn(proc())
+        with pytest.raises(SimError):
+            sim.run()
+
+    def test_bad_yield_rejected(self):
+        sim = Simulator()
+
+        def proc():
+            yield "soon"
+
+        sim.spawn(proc())
+        with pytest.raises(SimError):
+            sim.run()
+
+    def test_bool_yield_rejected(self):
+        sim = Simulator()
+
+        def proc():
+            yield True
+
+        sim.spawn(proc())
+        with pytest.raises(SimError):
+            sim.run()
+
+    def test_run_until_stops_early(self):
+        sim = Simulator()
+
+        def proc():
+            yield 100
+
+        sim.spawn(proc())
+        assert sim.run(until=50) == 50
+
+    def test_at_callback(self):
+        sim = Simulator()
+        fired = []
+        sim.at(7, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [7]
+
+    def test_live_process_count(self):
+        sim = Simulator()
+
+        def proc():
+            yield 1
+
+        sim.spawn(proc())
+        sim.spawn(proc())
+        assert sim.live_processes == 2
+        sim.run()
+        assert sim.live_processes == 0
+
+
+class TestEvents:
+    def test_event_wakes_waiter(self):
+        sim = Simulator()
+        event = sim.event()
+        log = []
+
+        def waiter():
+            yield event
+            log.append(("woke", sim.now, event.value))
+
+        def trigger():
+            yield 20
+            event.trigger("payload")
+
+        sim.spawn(waiter())
+        sim.spawn(trigger())
+        sim.run()
+        assert log == [("woke", 20, "payload")]
+
+    def test_wait_on_triggered_event_continues_immediately(self):
+        sim = Simulator()
+        event = sim.event()
+        event.trigger()
+        log = []
+
+        def waiter():
+            yield 5
+            yield event
+            log.append(sim.now)
+
+        sim.spawn(waiter())
+        sim.run()
+        assert log == [5]
+
+    def test_double_trigger_rejected(self):
+        sim = Simulator()
+        event = sim.event()
+        event.trigger()
+        with pytest.raises(SimError):
+            event.trigger()
+
+    def test_multiple_waiters_all_wake(self):
+        sim = Simulator()
+        event = sim.event()
+        woke = []
+
+        def waiter(name):
+            yield event
+            woke.append(name)
+
+        for name in "abc":
+            sim.spawn(waiter(name))
+        sim.at(3, event.trigger)
+        sim.run()
+        assert sorted(woke) == ["a", "b", "c"]
+
+
+class TestBarrier:
+    def test_barrier_releases_together(self):
+        sim = Simulator()
+        barrier = sim.barrier(3)
+        release_times = []
+
+        def worker(delay):
+            yield delay
+            yield barrier.wait()
+            release_times.append(sim.now)
+
+        for delay in (5, 10, 20):
+            sim.spawn(worker(delay))
+        sim.run()
+        assert release_times == [20, 20, 20]
+        assert barrier.generations == 1
+
+    def test_barrier_is_reusable(self):
+        sim = Simulator()
+        barrier = sim.barrier(2)
+        log = []
+
+        def worker(name, delays):
+            for delay in delays:
+                yield delay
+                yield barrier.wait()
+                log.append((name, sim.now))
+
+        sim.spawn(worker("a", [1, 1]))
+        sim.spawn(worker("b", [4, 2]))
+        sim.run()
+        assert barrier.generations == 2
+        assert [t for _, t in log] == [4, 4, 6, 6]
+
+    def test_bad_party_count(self):
+        with pytest.raises(SimError):
+            Simulator().barrier(0)
