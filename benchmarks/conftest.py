@@ -4,6 +4,13 @@ Each benchmark regenerates one of the paper's tables/figures once
 (``rounds=1`` — these are experiments, not microbenchmarks) and asserts the
 paper's qualitative claims about it.  Set ``REPRO_BENCH_QUICK=1`` to run
 4x-shorter simulations when iterating.
+
+The grid-shaped experiments can opt into the :mod:`repro.exec` engine:
+``REPRO_BENCH_JOBS=N`` fans their simulation cells across N worker
+processes and ``REPRO_BENCH_CACHE=1`` memoizes results in the
+content-addressed store (so a re-run after an unrelated code change is
+nearly free).  The defaults — one in-process job, no cache — are
+byte-identical to the historical serial loops.
 """
 
 import os
@@ -15,6 +22,17 @@ QUICK = os.environ.get("REPRO_BENCH_QUICK") == "1"
 #: Measured application instructions / warm-up per simulator run.
 INSTRUCTIONS = 5_000 if QUICK else 20_000
 WARMUP = 2_500 if QUICK else 10_000
+
+#: Worker processes / caching for engine-backed experiment fixtures.
+JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+CACHE = os.environ.get("REPRO_BENCH_CACHE") == "1"
+
+
+def make_engine():
+    """A JobRunner honouring REPRO_BENCH_JOBS / REPRO_BENCH_CACHE."""
+    from repro.exec import ExecOptions, JobRunner
+
+    return JobRunner(ExecOptions(jobs=JOBS, cache=CACHE))
 
 
 @pytest.fixture

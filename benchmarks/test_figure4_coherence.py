@@ -8,12 +8,13 @@ order fluctuates with application parameters such as the read/write mix.
 
 import pytest
 
+from conftest import make_engine
 from repro.harness.coherence_exp import figure4
 
 
 @pytest.fixture(scope="module")
 def figure4_result():
-    return figure4()
+    return figure4(engine=make_engine())
 
 
 def test_figure4_runs(run_once):

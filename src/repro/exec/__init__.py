@@ -1,0 +1,58 @@
+"""repro.exec — parallel experiment execution with content-addressed caching.
+
+The harness's figures are grids of independent, deterministic simulation
+cells; this package turns each cell into a :class:`SimJob`, schedules the
+grid through a :class:`JobRunner` (process pool, retries, per-job
+timeout, serial fallback), memoizes results in an on-disk
+:class:`ResultCache` keyed by the job's content hash, and reports
+structured :mod:`~repro.exec.telemetry` events for every scheduling step.
+
+``python -m repro.exec cache stats|purge`` manages the on-disk store.
+"""
+
+from repro.exec.bench import DEFAULT_BENCH_PATH, record_run
+from repro.exec.cache import CacheStats, ResultCache, default_cache_dir
+from repro.exec.engine import (
+    ExecOptions,
+    JobFailedError,
+    JobRunner,
+    JobTimeoutError,
+    TransientJobError,
+)
+from repro.exec.job import (
+    SCHEMA_VERSION,
+    SimJob,
+    bar_result_from_dict,
+    execute_job,
+)
+from repro.exec.telemetry import (
+    CollectingSink,
+    JobEvent,
+    JsonlTraceSink,
+    MultiSink,
+    ProgressPrinter,
+    RunTelemetry,
+)
+
+__all__ = [
+    "DEFAULT_BENCH_PATH",
+    "record_run",
+    "SCHEMA_VERSION",
+    "SimJob",
+    "execute_job",
+    "bar_result_from_dict",
+    "ResultCache",
+    "CacheStats",
+    "default_cache_dir",
+    "ExecOptions",
+    "JobRunner",
+    "TransientJobError",
+    "JobTimeoutError",
+    "JobFailedError",
+    "JobEvent",
+    "JsonlTraceSink",
+    "CollectingSink",
+    "MultiSink",
+    "ProgressPrinter",
+    "RunTelemetry",
+]

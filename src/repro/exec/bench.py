@@ -1,0 +1,42 @@
+"""Machine-readable timing baseline: ``BENCH_harness.json``.
+
+Every engine-backed CLI experiment appends/updates one entry keyed by
+experiment name — wall time, worker count, job/cache/retry accounting —
+so the repo accumulates a bench trajectory that scripts (and future
+perf PRs) can diff without scraping stdout.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any, Dict
+
+BENCH_SCHEMA = 1
+DEFAULT_BENCH_PATH = "BENCH_harness.json"
+
+
+def record_run(path, experiment: str, runner) -> Dict[str, Any]:
+    """Merge one experiment's run stats from *runner* into the bench file.
+
+    Returns the entry written.  The file maps experiment name → most
+    recent run; corrupt or old-schema files are replaced wholesale.
+    """
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text())
+        if data.get("schema") != BENCH_SCHEMA:
+            raise ValueError("stale bench schema")
+    except (OSError, ValueError):
+        data = {"schema": BENCH_SCHEMA, "experiments": {}}
+
+    stats = runner.stats.as_dict()
+    entry = dict(stats)
+    entry["workers"] = runner.options.jobs
+    entry["cache_enabled"] = runner.cache is not None
+    entry["timestamp"] = time.time()
+    data["experiments"][experiment] = entry
+    data["updated"] = entry["timestamp"]
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return entry

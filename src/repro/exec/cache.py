@@ -1,0 +1,155 @@
+"""On-disk content-addressed result store.
+
+Layout: one JSON blob per job under ``<root>/<key[:2]>/<key>.json`` where
+``key`` is :meth:`SimJob.cache_key`.  The root defaults to
+``~/.cache/repro-exec`` and is overridable with ``REPRO_CACHE_DIR`` or the
+``cache_dir`` execution option.  Every blob embeds the schema version and
+the job's own serialization, so entries are self-describing and entries
+written by an older schema are invalidated (counted and deleted) on read
+rather than silently reused.
+
+Writes are atomic (temp file + ``os.replace``) so a crashed or concurrent
+run can never leave a half-written blob that later reads as a corrupt hit.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.exec.job import SCHEMA_VERSION, SimJob
+
+_ENV_VAR = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    env = os.environ.get(_ENV_VAR)
+    if env:
+        return Path(env).expanduser()
+    return Path.home() / ".cache" / "repro-exec"
+
+
+@dataclass
+class CacheStats:
+    """Accounting for one cache instance's lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    invalidations: int = 0  # stale-schema or corrupt entries dropped
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"hits": self.hits, "misses": self.misses,
+                "stores": self.stores, "invalidations": self.invalidations,
+                "hit_rate": round(self.hit_rate, 4)}
+
+
+@dataclass
+class ResultCache:
+    """Content-addressed store of job results keyed by ``cache_key``."""
+
+    root: Path = field(default_factory=default_cache_dir)
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root).expanduser()
+
+    # -- addressing ----------------------------------------------------------
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    # -- lookup / store ------------------------------------------------------
+    def get(self, job: SimJob) -> Optional[Dict[str, Any]]:
+        """Return the cached result dict for *job*, or None on a miss.
+
+        Entries with a different schema version, or that fail to parse,
+        are deleted and counted as invalidations (and the lookup as a
+        miss).
+        """
+        path = self.path_for(job.cache_key())
+        try:
+            blob = json.loads(path.read_text())
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (OSError, json.JSONDecodeError):
+            self._drop(path)
+            self.stats.misses += 1
+            return None
+        if blob.get("schema") != SCHEMA_VERSION or "result" not in blob:
+            self._drop(path)
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return blob["result"]
+
+    def put(self, job: SimJob, result: Dict[str, Any]) -> Path:
+        """Store *result* for *job* atomically; returns the blob path."""
+        key = job.cache_key()
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        blob = {
+            "schema": SCHEMA_VERSION,
+            "key": key,
+            "job": job.to_dict(),
+            "result": result,
+            "created": time.time(),
+        }
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(blob, sort_keys=True, indent=1))
+        os.replace(tmp, path)
+        self.stats.stores += 1
+        return path
+
+    def _drop(self, path: Path) -> None:
+        self.stats.invalidations += 1
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    # -- maintenance ---------------------------------------------------------
+    def _entries(self):
+        if not self.root.is_dir():
+            return
+        for path in sorted(self.root.glob("??/*.json")):
+            yield path
+
+    def entry_count(self) -> int:
+        return sum(1 for _ in self._entries())
+
+    def size_bytes(self) -> int:
+        return sum(path.stat().st_size for path in self._entries())
+
+    def purge(self) -> int:
+        """Delete every cached entry; returns the number removed."""
+        removed = 0
+        for path in list(self._entries()):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def describe(self) -> Dict[str, Any]:
+        """Inventory for the ``repro.exec cache`` CLI / bench telemetry."""
+        return {
+            "dir": str(self.root),
+            "schema": SCHEMA_VERSION,
+            "entries": self.entry_count(),
+            "size_bytes": self.size_bytes(),
+            "session": self.stats.as_dict(),
+        }

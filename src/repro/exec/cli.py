@@ -1,0 +1,48 @@
+"""``python -m repro.exec`` — manage the result cache.
+
+Subcommands::
+
+    python -m repro.exec cache stats    # location, entry count, size
+    python -m repro.exec cache purge    # delete every cached result
+    python -m repro.exec cache path     # print the cache directory
+
+The cache directory is ``~/.cache/repro-exec`` unless ``REPRO_CACHE_DIR``
+or ``--dir`` says otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.exec.cache import ResultCache, default_cache_dir
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.exec",
+                                     description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+    cache = sub.add_parser("cache", help="inspect or purge the result cache")
+    cache.add_argument("action", choices=["stats", "purge", "path"])
+    cache.add_argument("--dir", default=None,
+                       help="cache directory (default: REPRO_CACHE_DIR or "
+                            "~/.cache/repro-exec)")
+    args = parser.parse_args(argv)
+
+    store = ResultCache(args.dir) if args.dir else ResultCache()
+    if args.action == "path":
+        print(store.root)
+    elif args.action == "stats":
+        info = store.describe()
+        print(f"cache dir   {info['dir']}")
+        print(f"schema      v{info['schema']}")
+        print(f"entries     {info['entries']}")
+        print(f"size        {info['size_bytes']} bytes")
+    elif args.action == "purge":
+        removed = store.purge()
+        print(f"purged {removed} cached result(s) from {store.root}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,280 @@
+"""The scheduler: fan jobs across processes, with cache, retry and timeout.
+
+:class:`JobRunner` takes a sequence of :class:`~repro.exec.job.SimJob`,
+resolves what it can from the result cache, executes the rest — inline
+when ``jobs == 1`` (byte-identical to the historical serial loops), or on
+a ``ProcessPoolExecutor`` otherwise — and returns result dicts in job
+order.
+
+Failure policy:
+
+* a job raising :class:`TransientJobError` is retried up to
+  ``retries`` times with exponential backoff (``backoff * 2**attempt``
+  seconds), each retry surfaced as a ``retried`` telemetry event;
+* any other exception, or exhausting the retry budget, fails the run
+  with :class:`JobFailedError`;
+* in parallel mode a job that does not produce a result within
+  ``timeout`` seconds of being waited on fails the run with
+  :class:`JobTimeoutError` and cancels the remaining work — the run
+  never hangs.  Serial mode cannot preempt a running simulation, so
+  there the timeout is checked after the job returns.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.exec.cache import ResultCache
+from repro.exec.job import SimJob, execute_job
+from repro.exec.telemetry import (
+    CACHE_HIT,
+    FAILED,
+    FINISHED,
+    QUEUED,
+    RETRIED,
+    STARTED,
+    JobEvent,
+    JsonlTraceSink,
+    MultiSink,
+    NullSink,
+    ProgressPrinter,
+    RunTelemetry,
+)
+
+
+class TransientJobError(RuntimeError):
+    """A retryable failure (flaky environment, worker hiccup)."""
+
+
+class JobTimeoutError(RuntimeError):
+    """A job exceeded the configured per-job timeout."""
+
+
+class JobFailedError(RuntimeError):
+    """A job failed permanently (non-transient, or retries exhausted)."""
+
+
+@dataclass
+class ExecOptions:
+    """Knobs for one :class:`JobRunner`.
+
+    ``jobs=1`` is the serial fallback: jobs run inline, in order, with no
+    worker processes.  ``cache=False`` disables the result cache entirely
+    (neither reads nor writes).
+    """
+
+    jobs: int = 1
+    cache: bool = True
+    cache_dir: Optional[str] = None
+    timeout: Optional[float] = None     # seconds per job
+    retries: int = 2                    # extra attempts after the first
+    backoff: float = 0.25               # seconds; doubles per retry
+    trace_path: Optional[str] = None    # JSONL event dump
+    progress: bool = False              # live stderr progress meter
+
+
+def _timed_call(execute: Callable[[SimJob], Dict[str, Any]],
+                job: SimJob):
+    """Worker-side wrapper: run *execute* and measure its wall time.
+
+    Module-level so the process pool can pickle it by reference.
+    """
+    start = time.perf_counter()
+    result = execute(job)
+    return result, time.perf_counter() - start
+
+
+class JobRunner:
+    """Execute SimJobs through the cache/scheduler/telemetry stack.
+
+    ``execute`` is pluggable (module-level callable taking a SimJob) so
+    tests can inject flaky or slow payloads; it defaults to
+    :func:`repro.exec.job.execute_job`.
+    """
+
+    def __init__(self, options: Optional[ExecOptions] = None, *,
+                 execute: Callable[[SimJob], Dict[str, Any]] = execute_job,
+                 sinks: Sequence = (),
+                 cache: Optional[ResultCache] = None) -> None:
+        self.options = options or ExecOptions()
+        self.execute = execute
+        self.extra_sinks = list(sinks)
+        if cache is not None:
+            self.cache: Optional[ResultCache] = cache
+        elif self.options.cache:
+            self.cache = (ResultCache(self.options.cache_dir)
+                          if self.options.cache_dir else ResultCache())
+        else:
+            self.cache = None
+        self.stats = RunTelemetry()
+
+    # -- telemetry helpers ---------------------------------------------------
+    def _emit(self, sink, event: str, job: SimJob, key: str,
+              **extra) -> None:
+        sink.emit(JobEvent(event=event, key=key, label=job.label,
+                           timestamp=time.time(), **extra))
+
+    def _build_sink(self, total: int):
+        sinks: List = [self.stats] + self.extra_sinks
+        trace = None
+        if self.options.trace_path:
+            trace = JsonlTraceSink(self.options.trace_path)
+            sinks.append(trace)
+        if self.options.progress:
+            sinks.append(ProgressPrinter(total))
+        return (MultiSink(sinks) if sinks else NullSink()), trace
+
+    # -- main entry ----------------------------------------------------------
+    def run(self, jobs: Sequence[SimJob]) -> List[Dict[str, Any]]:
+        """Run *jobs* and return their result dicts in the same order.
+
+        ``self.stats`` accumulates across calls (an experiment like
+        ``sensitivity`` submits several grids through one runner); build a
+        fresh JobRunner for independent accounting.
+        """
+        sink, trace = self._build_sink(len(jobs))
+        run_start = time.perf_counter()
+        try:
+            keys = [job.cache_key() for job in jobs]
+            results: List[Optional[Dict[str, Any]]] = [None] * len(jobs)
+            pending: List[int] = []
+            for index, (job, key) in enumerate(zip(jobs, keys)):
+                self._emit(sink, QUEUED, job, key)
+                cached = self.cache.get(job) if self.cache else None
+                if cached is not None:
+                    results[index] = cached
+                    self._emit(sink, CACHE_HIT, job, key)
+                    self._emit(sink, FINISHED, job, key, cache="hit",
+                               wall=0.0)
+                else:
+                    pending.append(index)
+
+            if pending:
+                if self.options.jobs <= 1:
+                    self._run_serial(jobs, keys, pending, results, sink)
+                else:
+                    self._run_parallel(jobs, keys, pending, results, sink)
+            return results  # type: ignore[return-value]
+        finally:
+            self.stats.wall += time.perf_counter() - run_start
+            if trace is not None:
+                trace.close()
+
+    # -- serial path ---------------------------------------------------------
+    def _run_serial(self, jobs, keys, pending, results, sink) -> None:
+        cache_state = "miss" if self.cache else "off"
+        for index in pending:
+            job, key = jobs[index], keys[index]
+            attempt = 0
+            while True:
+                self._emit(sink, STARTED, job, key, attempt=attempt)
+                try:
+                    result, wall = _timed_call(self.execute, job)
+                    break
+                except TransientJobError as exc:
+                    attempt += 1
+                    if attempt > self.options.retries:
+                        self._fail(sink, job, key, attempt, exc)
+                    self._retry(sink, job, key, attempt, exc)
+                except Exception as exc:
+                    self._fail(sink, job, key, attempt + 1, exc)
+            timeout = self.options.timeout
+            if timeout is not None and wall > timeout:
+                self._emit(sink, FAILED, job, key, attempt=attempt,
+                           wall=wall, error="timeout")
+                raise JobTimeoutError(
+                    f"job {job.label} took {wall:.2f}s, exceeding the "
+                    f"{timeout:.2f}s per-job timeout (serial mode can only "
+                    f"detect this after the fact; use --jobs >= 2 to "
+                    f"preempt)")
+            self._store(job, result)
+            results[index] = result
+            self._emit(sink, FINISHED, job, key, attempt=attempt,
+                       wall=wall, cache=cache_state)
+
+    # -- parallel path -------------------------------------------------------
+    @staticmethod
+    def _abort_pool(pool: ProcessPoolExecutor) -> None:
+        """Stop a pool without waiting on in-flight (possibly hung) jobs."""
+        pool.shutdown(wait=False, cancel_futures=True)
+        for proc in list((getattr(pool, "_processes", None) or {}).values()):
+            try:
+                proc.terminate()
+            except Exception:
+                pass
+
+    def _run_parallel(self, jobs, keys, pending, results, sink) -> None:
+        cache_state = "miss" if self.cache else "off"
+        workers = min(self.options.jobs, len(pending))
+        timeout = self.options.timeout
+        pool = ProcessPoolExecutor(max_workers=workers)
+        aborted = False
+        try:
+            futures = {}
+            attempts = {index: 0 for index in pending}
+            for index in pending:
+                self._emit(sink, STARTED, jobs[index], keys[index],
+                           attempt=0)
+                futures[index] = pool.submit(_timed_call, self.execute,
+                                             jobs[index])
+            # Collect in submission order; retries resubmit in place.
+            for index in pending:
+                job, key = jobs[index], keys[index]
+                while True:
+                    try:
+                        result, wall = futures[index].result(timeout=timeout)
+                        break
+                    except FutureTimeoutError:
+                        aborted = True
+                        self._emit(sink, FAILED, job, key,
+                                   attempt=attempts[index], error="timeout")
+                        self._abort_pool(pool)
+                        raise JobTimeoutError(
+                            f"job {job.label} produced no result within the "
+                            f"{timeout:.2f}s per-job timeout; run aborted "
+                            f"({sum(r is None for r in results)} jobs "
+                            f"unfinished)") from None
+                    except TransientJobError as exc:
+                        attempts[index] += 1
+                        if attempts[index] > self.options.retries:
+                            aborted = True
+                            self._abort_pool(pool)
+                            self._fail(sink, job, key, attempts[index], exc)
+                        self._retry(sink, job, key, attempts[index], exc)
+                        self._emit(sink, STARTED, job, key,
+                                   attempt=attempts[index])
+                        futures[index] = pool.submit(_timed_call,
+                                                     self.execute, job)
+                    except Exception as exc:
+                        aborted = True
+                        self._abort_pool(pool)
+                        self._fail(sink, job, key, attempts[index] + 1, exc)
+                self._store(job, result)
+                results[index] = result
+                self._emit(sink, FINISHED, job, key, attempt=attempts[index],
+                           wall=wall, cache=cache_state)
+        finally:
+            if not aborted:
+                pool.shutdown(wait=True, cancel_futures=True)
+
+    # -- shared helpers ------------------------------------------------------
+    def _store(self, job: SimJob, result: Dict[str, Any]) -> None:
+        if self.cache is not None:
+            self.cache.put(job, result)
+
+    def _retry(self, sink, job, key, attempt, exc) -> None:
+        self._emit(sink, RETRIED, job, key, attempt=attempt,
+                   error=f"{type(exc).__name__}: {exc}")
+        time.sleep(self.options.backoff * (2 ** (attempt - 1)))
+
+    def _fail(self, sink, job, key, attempts, exc) -> None:
+        """Abort the run; *attempts* is the total number of attempts made."""
+        self._emit(sink, FAILED, job, key, attempt=attempts - 1,
+                   error=f"{type(exc).__name__}: {exc}")
+        raise JobFailedError(
+            f"job {job.label} failed after {attempts} attempt(s): "
+            f"{type(exc).__name__}: {exc}") from exc

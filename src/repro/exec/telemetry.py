@@ -1,0 +1,189 @@
+"""Structured per-job run telemetry.
+
+Every scheduler action emits a :class:`JobEvent` (queued / started /
+cache_hit / finished / retried / failed) to the runner's sinks.  Sinks are
+pluggable objects with an ``emit(event)`` method:
+
+* :class:`JsonlTraceSink` — append events as JSON lines (the ``--trace``
+  file), one object per event, flushed eagerly so a hung run still leaves
+  a usable trace.
+* :class:`RunTelemetry` — in-memory aggregator: counts, wall times and
+  cache accounting, plus the ASCII run summary the CLI prints.
+* :class:`ProgressPrinter` — single-line live progress meter.
+* :class:`MultiSink` — fan one event stream out to several sinks.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, IO, List, Optional, Sequence
+
+#: Event names, in the order a healthy job emits them.
+QUEUED = "queued"
+STARTED = "started"
+CACHE_HIT = "cache_hit"
+RETRIED = "retried"
+FINISHED = "finished"
+FAILED = "failed"
+
+
+@dataclass
+class JobEvent:
+    """One scheduler observation about one job attempt."""
+
+    event: str
+    key: str                    # cache key (short id of the job)
+    label: str                  # human-readable job identity
+    timestamp: float
+    attempt: int = 0
+    wall: Optional[float] = None       # seconds, finished/failed only
+    cache: Optional[str] = None        # "hit" | "miss" | "off"
+    error: Optional[str] = None        # retried/failed only
+
+    def to_json(self) -> str:
+        data = {k: v for k, v in asdict(self).items() if v is not None}
+        data["key"] = self.key[:16]
+        return json.dumps(data, sort_keys=True)
+
+
+class NullSink:
+    def emit(self, event: JobEvent) -> None:
+        pass
+
+
+class MultiSink:
+    def __init__(self, sinks: Sequence) -> None:
+        self.sinks = list(sinks)
+
+    def emit(self, event: JobEvent) -> None:
+        for sink in self.sinks:
+            sink.emit(event)
+
+
+class CollectingSink:
+    """Keep every event in memory (tests, programmatic inspection)."""
+
+    def __init__(self) -> None:
+        self.events: List[JobEvent] = []
+
+    def emit(self, event: JobEvent) -> None:
+        self.events.append(event)
+
+    def names(self) -> List[str]:
+        return [event.event for event in self.events]
+
+
+class JsonlTraceSink:
+    """Append events to a JSONL file, one object per line."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._fh: Optional[IO[str]] = open(path, "a")
+
+    def emit(self, event: JobEvent) -> None:
+        if self._fh is None:
+            return
+        self._fh.write(event.to_json() + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+class ProgressPrinter:
+    """One-line live progress: ``[done/total] hits=H label``."""
+
+    def __init__(self, total: int, stream: Optional[IO[str]] = None) -> None:
+        self.total = total
+        self.done = 0
+        self.hits = 0
+        self.stream = stream if stream is not None else sys.stderr
+
+    def emit(self, event: JobEvent) -> None:
+        if event.event == CACHE_HIT:
+            self.hits += 1
+        if event.event not in (FINISHED, FAILED):
+            return
+        self.done += 1
+        line = (f"[{self.done}/{self.total}] hits={self.hits} "
+                f"{event.event} {event.label}")
+        end = "\n" if self.done == self.total else "\r"
+        self.stream.write(f"\r{line:<78}{end}")
+        self.stream.flush()
+
+
+@dataclass
+class RunTelemetry:
+    """Aggregate view of one scheduler run (also usable as a sink)."""
+
+    jobs: int = 0
+    finished: int = 0
+    failed: int = 0
+    retries: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    executed: int = 0            # jobs that actually simulated
+    job_walls: List[float] = field(default_factory=list)
+    started_at: float = field(default_factory=time.time)
+    wall: float = 0.0
+
+    def emit(self, event: JobEvent) -> None:
+        if event.event == QUEUED:
+            self.jobs += 1
+        elif event.event == STARTED:
+            self.executed += 1
+        elif event.event == CACHE_HIT:
+            self.cache_hits += 1
+        elif event.event == RETRIED:
+            self.retries += 1
+        elif event.event == FINISHED:
+            self.finished += 1
+            if event.cache == "miss":
+                self.cache_misses += 1
+            if event.wall is not None:
+                self.job_walls.append(event.wall)
+        elif event.event == FAILED:
+            self.failed += 1
+
+    @property
+    def cache_hit_rate(self) -> float:
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        walls = self.job_walls
+        return {
+            "jobs": self.jobs,
+            "finished": self.finished,
+            "failed": self.failed,
+            "retries": self.retries,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": round(self.cache_hit_rate, 4),
+            "executed": self.executed,
+            "wall_seconds": round(self.wall, 4),
+            "mean_job_seconds": (round(sum(walls) / len(walls), 4)
+                                 if walls else 0.0),
+        }
+
+    def summary(self) -> str:
+        """ASCII run summary for the CLI footer."""
+        data = self.as_dict()
+        lines = [
+            "run summary",
+            f"  jobs        {data['jobs']} "
+            f"({data['finished']} ok, {data['failed']} failed, "
+            f"{data['retries']} retries)",
+            f"  cache       {data['cache_hits']} hits / "
+            f"{data['cache_misses']} misses "
+            f"({100.0 * data['cache_hit_rate']:.0f}% hit rate)",
+            f"  wall        {data['wall_seconds']:.2f}s total, "
+            f"{data['mean_job_seconds']:.3f}s mean/job "
+            f"over {data['executed']} simulated",
+        ]
+        return "\n".join(lines)

@@ -14,7 +14,17 @@ Usage::
     python -m repro.harness characterize [--benchmarks a,b]
 
 ``--quick`` shrinks run lengths by 4x for smoke testing; ``--json PATH``
-additionally writes the figure2/figure3/figure4 results as JSON.
+writes any experiment's results as JSON.
+
+Execution-engine flags (see :mod:`repro.exec`): ``--jobs N`` fans the
+experiment's simulation grid across N worker processes (1 = serial,
+byte-identical to the historical loops); results are memoized in the
+content-addressed cache under ``REPRO_CACHE_DIR`` (default
+``~/.cache/repro-exec``) unless ``--no-cache``; ``--trace PATH`` dumps
+per-job telemetry events as JSONL; ``--seed N`` offsets the workload
+generator seeds; ``--timeout S`` bounds each job's runtime.  Engine-backed
+experiments also refresh their entry in ``BENCH_harness.json``
+(``--bench PATH`` to redirect, ``--no-bench`` to skip).
 """
 
 from __future__ import annotations
@@ -26,6 +36,12 @@ from repro.harness import configs
 from repro.harness import coherence_exp
 from repro.harness import report
 from repro.harness import runner
+
+#: Experiments whose grids run through the repro.exec engine.
+_ENGINE_EXPERIMENTS = frozenset([
+    "figure2", "figure3", "handler100", "branch-vs-exception",
+    "cc-vs-trap", "figure4", "sensitivity",
+])
 
 
 def _sizes(quick: bool):
@@ -86,6 +102,20 @@ def _table2() -> str:
     return "\n".join(lines)
 
 
+def _build_engine(args):
+    """One JobRunner per CLI invocation, wired from the engine flags."""
+    from repro.exec import ExecOptions, JobRunner
+
+    options = ExecOptions(
+        jobs=args.jobs,
+        cache=not args.no_cache,
+        timeout=args.timeout,
+        trace_path=args.trace,
+        progress=args.progress,
+    )
+    return JobRunner(options)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(prog="python -m repro.harness",
                                      description=__doc__)
@@ -96,12 +126,47 @@ def main(argv=None) -> int:
     parser.add_argument("--quick", action="store_true",
                         help="4x shorter runs for smoke testing")
     parser.add_argument("--benchmarks", default=None,
-                        help="comma-separated benchmark subset")
+                        help="comma-separated benchmark subset (SPEC92 "
+                             "names; parallel-kernel names for "
+                             "figure4/sensitivity)")
     parser.add_argument("--json", default=None, metavar="PATH",
-                        help="also write results as JSON "
-                             "(figure2/figure3/figure4)")
+                        help="also write results as JSON")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="workload seed offset (0 = the default "
+                             "seed path, unchanged)")
+    engine_group = parser.add_argument_group("execution engine")
+    engine_group.add_argument("--jobs", type=int, default=1, metavar="N",
+                              help="worker processes for the simulation "
+                                   "grid (default 1: serial)")
+    engine_group.add_argument("--no-cache", action="store_true",
+                              help="disable the content-addressed result "
+                                   "cache")
+    engine_group.add_argument("--trace", default=None, metavar="PATH",
+                              help="append per-job telemetry events as "
+                                   "JSONL")
+    engine_group.add_argument("--timeout", type=float, default=None,
+                              metavar="SECONDS",
+                              help="per-job timeout (parallel mode "
+                                   "preempts; serial mode detects "
+                                   "post-hoc)")
+    engine_group.add_argument("--progress", action="store_true",
+                              help="live progress meter on stderr")
+    engine_group.add_argument("--bench", default=None, metavar="PATH",
+                              help="timing-baseline file to update "
+                                   "(default BENCH_harness.json)")
+    engine_group.add_argument("--no-bench", action="store_true",
+                              help="do not update the timing baseline")
     args = parser.parse_args(argv)
     sizes = _sizes(args.quick)
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+
+    # Seed only affects the SPEC92 workload generators.
+    if args.seed and args.experiment in ("table1", "table2", "figure4",
+                                         "sensitivity"):
+        parser.error(f"--seed does not apply to {args.experiment}")
+    engine = (_build_engine(args)
+              if args.experiment in _ENGINE_EXPERIMENTS else None)
 
     def maybe_export(payload: str) -> None:
         if args.json:
@@ -110,60 +175,89 @@ def main(argv=None) -> int:
             print(f"results written to {args.json}")
 
     if args.experiment == "table1":
+        from repro.harness import export
         print(_table1())
+        maybe_export(export.table1_to_json())
     elif args.experiment == "table2":
+        from repro.harness import export
         print(_table2())
+        maybe_export(export.table2_to_json())
     elif args.experiment == "figure2":
         from repro.harness import export
         benchmarks = args.benchmarks.split(",") if args.benchmarks else None
-        result = runner.figure2(benchmarks=benchmarks, **sizes)
+        result = runner.figure2(benchmarks=benchmarks, seed=args.seed,
+                                engine=engine, **sizes)
         print(report.render_figure(result, "Figure 2 — generic miss handlers"))
         for note in report.summarize_claims(result):
             print(note)
         maybe_export(export.figure_to_json(result))
     elif args.experiment == "figure3":
         from repro.harness import export
-        result = runner.figure3(**sizes)
+        result = runner.figure3(seed=args.seed, engine=engine, **sizes)
         print(report.render_figure(result, "Figure 3 — su2cor"))
         maybe_export(export.figure_to_json(result))
     elif args.experiment == "handler100":
-        result = runner.handler100(**sizes)
+        from repro.harness import export
+        result = runner.handler100(seed=args.seed, engine=engine, **sizes)
         print(report.render_figure(
             result, "100-instruction handlers (paper: compress ~6x, "
                     "su2cor ~7x, ora ~2%)"))
+        maybe_export(export.figure_to_json(result))
     elif args.experiment == "branch-vs-exception":
-        result = runner.branch_vs_exception(**sizes)
+        from repro.harness import export
+        result = runner.branch_vs_exception(seed=args.seed, engine=engine,
+                                            **sizes)
         print(report.render_figure(
             result, "Branch-like vs exception-like traps "
                     "(paper: +9%/+7% on compress)"))
+        maybe_export(export.figure_to_json(result))
     elif args.experiment == "cc-vs-trap":
-        result = runner.cc_vs_trap(**sizes)
+        from repro.harness import export
+        result = runner.cc_vs_trap(seed=args.seed, engine=engine, **sizes)
         print(report.render_figure(
             result, "Condition-code check vs per-reference MHAR set"))
+        maybe_export(export.figure_to_json(result))
     elif args.experiment == "figure4":
         from repro.harness import export
-        result = coherence_exp.figure4()
+        workloads = args.benchmarks.split(",") if args.benchmarks else None
+        result = coherence_exp.figure4(workloads=workloads, engine=engine)
         print(coherence_exp.render_figure4(result))
         maybe_export(export.figure4_to_json(result))
     elif args.experiment == "characterize":
+        from repro.harness import export
         from repro.workloads import SPEC92, spec92_workload
         from repro.workloads.characterize import characterize, render_profile
         names = (args.benchmarks.split(",") if args.benchmarks
                  else sorted(SPEC92))
         limit = 10_000 if args.quick else 50_000
+        profiles = {}
         for name in names:
-            profile = characterize(spec92_workload(name).stream(limit),
-                                   limit=limit)
+            workload = spec92_workload(name, seed_offset=args.seed)
+            profile = characterize(workload.stream(limit), limit=limit)
+            profiles[name] = profile
             print(render_profile(name, profile))
             print()
+        maybe_export(export.profiles_to_json(profiles))
     elif args.experiment == "sensitivity":
-        points = coherence_exp.sensitivity()
+        from repro.harness import export
+        workloads = args.benchmarks.split(",") if args.benchmarks else None
+        points = coherence_exp.sensitivity(workloads=workloads,
+                                           engine=engine)
         print("Sensitivity: comparator-to-informing ratios "
               "(higher = informing relatively better)")
         print(f"{'msg latency':>12} {'L1 size':>9} {'ref-check':>10} {'ECC':>8}")
         for point in points:
             print(f"{point.message_latency:>12} {point.l1_size // 1024:>8}K "
                   f"{point.reference_checking:>10.3f} {point.ecc:>8.3f}")
+        maybe_export(export.sensitivity_to_json(points))
+
+    if engine is not None:
+        print(engine.stats.summary())
+        if not args.no_bench:
+            from repro.exec import DEFAULT_BENCH_PATH, record_run
+            bench_path = args.bench or DEFAULT_BENCH_PATH
+            record_run(bench_path, args.experiment, engine)
+            print(f"timing baseline updated: {bench_path}")
     return 0
 
 

@@ -5,11 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence
 
-from repro.coherence import (
-    AccessControlMethod,
-    CoherenceMachineParams,
-    run_access_control_experiment,
-)
+from repro.coherence import AccessControlMethod, CoherenceMachineParams
 from repro.workloads.parallel import PARALLEL_KERNELS
 
 
@@ -44,18 +40,35 @@ class Figure4Result:
 def figure4(
     machine: Optional[CoherenceMachineParams] = None,
     workloads: Optional[Sequence[str]] = None,
+    engine=None,
 ) -> Figure4Result:
-    """Figure 4: all three access-control methods over the parallel apps."""
+    """Figure 4: all three access-control methods over the parallel apps.
+
+    The workload × method grid goes through a :class:`repro.exec.JobRunner`
+    (*engine*, or a fresh serial cache-less one), like the Figure 2/3 grids.
+    """
+    from dataclasses import asdict
+
+    from repro.exec import ExecOptions, JobRunner, SimJob
+
     machine = machine or CoherenceMachineParams()
     names = list(workloads) if workloads else list(PARALLEL_KERNELS)
+    if engine is None:
+        engine = JobRunner(ExecOptions(jobs=1, cache=False))
+    methods = list(AccessControlMethod)
+    jobs = [
+        SimJob.access_control(workload=name, method=method.name,
+                              machine_params=asdict(machine))
+        for name in names
+        for method in methods
+    ]
+    rows = engine.run(jobs)
     result = Figure4Result()
-    for name in names:
-        kernel = PARALLEL_KERNELS[name]
-        times: Dict[AccessControlMethod, int] = {}
-        for method in AccessControlMethod:
-            outcome = run_access_control_experiment(
-                kernel, method, machine=machine, name=name)
-            times[method] = outcome.execution_time
+    for i, name in enumerate(names):
+        times: Dict[AccessControlMethod, int] = {
+            method: rows[i * len(methods) + j]["execution_time"]
+            for j, method in enumerate(methods)
+        }
         informing = times[AccessControlMethod.INFORMING]
         result.rows.append(Figure4Row(
             workload=name,
@@ -81,6 +94,7 @@ def sensitivity(
     workloads: Optional[Sequence[str]] = None,
     message_latencies: Sequence[int] = (300, 900, 1800),
     l1_sizes: Sequence[int] = (8 * 1024, 16 * 1024, 64 * 1024),
+    engine=None,
 ) -> List[SensitivityPoint]:
     """§4.3.2's closing observation: smaller network latencies or larger
     primary caches improve informing's *relative* performance.
@@ -92,7 +106,7 @@ def sensitivity(
     base = CoherenceMachineParams()
     for latency in message_latencies:
         machine = replace(base, message_latency=latency)
-        fig = figure4(machine, workloads)
+        fig = figure4(machine, workloads, engine=engine)
         points.append(SensitivityPoint(
             latency, machine.l1_size,
             fig.mean_reference_checking, fig.mean_ecc))
@@ -100,7 +114,7 @@ def sensitivity(
         if l1_size == base.l1_size:
             continue
         machine = replace(base, l1_size=l1_size)
-        fig = figure4(machine, workloads)
+        fig = figure4(machine, workloads, engine=engine)
         points.append(SensitivityPoint(
             machine.message_latency, l1_size,
             fig.mean_reference_checking, fig.mean_ecc))

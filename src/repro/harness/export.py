@@ -87,3 +87,64 @@ def sensitivity_to_csv(points: List[SensitivityPoint]) -> str:
         writer.writerow([point.message_latency, point.l1_size,
                          point.reference_checking, point.ecc])
     return output.getvalue()
+
+
+def sensitivity_to_json(points: List[SensitivityPoint],
+                        indent: int = 2) -> str:
+    return json.dumps({"points": [
+        {
+            "message_latency": point.message_latency,
+            "l1_size": point.l1_size,
+            "reference_checking": point.reference_checking,
+            "ecc": point.ecc,
+        }
+        for point in points
+    ]}, indent=indent)
+
+
+def table1_to_json(indent: int = 2) -> str:
+    """The Table 1 machine parameters as structured JSON."""
+    from dataclasses import asdict
+
+    from repro.harness.configs import MACHINES
+
+    return json.dumps(
+        {key: asdict(spec) for key, spec in MACHINES.items()},
+        indent=indent)
+
+
+def table2_to_json(indent: int = 2) -> str:
+    """The Table 2 coherence machine and method costs as JSON."""
+    from dataclasses import asdict
+
+    from repro.coherence import METHOD_COSTS, TABLE2_MACHINE
+
+    return json.dumps({
+        "machine": asdict(TABLE2_MACHINE),
+        "method_costs": {method.name: asdict(costs)
+                         for method, costs in METHOD_COSTS.items()},
+    }, indent=indent)
+
+
+def profile_to_dict(profile) -> dict:
+    """One :class:`repro.workloads.characterize.WorkloadProfile` as a dict."""
+    return {
+        "instructions": profile.instructions,
+        "mix": dict(sorted(profile.mix.items())),
+        "mem_fraction": profile.mem_fraction,
+        "store_fraction": profile.store_fraction,
+        "branch_fraction": profile.branch_fraction,
+        "mean_branch_predictability": profile.mean_branch_predictability,
+        "static_insts": len(profile.static_pcs),
+        "static_refs": len(profile.static_ref_pcs),
+        "footprint_bytes": profile.footprint_bytes,
+        "line_reuse": profile.line_reuse,
+    }
+
+
+def profiles_to_json(profiles: dict, indent: int = 2) -> str:
+    """``characterize`` results ({name: WorkloadProfile}) as JSON."""
+    return json.dumps(
+        {name: profile_to_dict(profile)
+         for name, profile in profiles.items()},
+        indent=indent)

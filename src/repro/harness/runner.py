@@ -107,11 +107,17 @@ def run_bar(
     bar: BarConfig,
     instructions: int = DEFAULT_INSTRUCTIONS,
     warmup: int = DEFAULT_WARMUP,
+    seed: int = 0,
 ) -> BarResult:
-    """Run one benchmark/machine/bar combination from scratch."""
+    """Run one benchmark/machine/bar combination from scratch.
+
+    ``seed`` is a workload seed offset (see
+    :func:`repro.workloads.spec92.spec92_workload`); 0 keeps the default
+    seed path untouched.
+    """
     spec = MACHINES[machine_key]
     core = build_core(spec, informing=bar.informing)
-    workload = spec92_workload(benchmark)
+    workload = spec92_workload(benchmark, seed_offset=seed)
     # Generous stream bound: instrumentation and replay never exhaust it.
     stream = workload.stream(8 * (instructions + warmup) + 100_000)
     if bar.per_ref_instrumentation == "mhar":
@@ -168,59 +174,83 @@ def run_figure(
     labels: Sequence[str],
     instructions: int = DEFAULT_INSTRUCTIONS,
     warmup: int = DEFAULT_WARMUP,
+    seed: int = 0,
+    engine=None,
 ) -> FigureResult:
-    """Run a full bars × benchmarks × machines grid and normalize."""
+    """Run a full bars × benchmarks × machines grid and normalize.
+
+    The grid is enumerated as :class:`repro.exec.SimJob` cells and
+    submitted through a :class:`repro.exec.JobRunner` — *engine* if given
+    (the CLI wires one up from ``--jobs/--no-cache/--trace``), otherwise
+    a fresh serial, cache-less runner whose behaviour matches the
+    historical inline loop exactly.
+    """
+    from repro.exec import ExecOptions, JobRunner, SimJob, bar_result_from_dict
+
+    if engine is None:
+        engine = JobRunner(ExecOptions(jobs=1, cache=False))
+    jobs = [
+        SimJob.bar(benchmark=benchmark, machine=machine, label=label,
+                   instructions=instructions, warmup=warmup, seed=seed)
+        for benchmark in benchmarks
+        for machine in machines
+        for label in labels
+    ]
     result = FigureResult(name=name)
-    for benchmark in benchmarks:
-        for machine in machines:
-            for label in labels:
-                result.bars.append(run_bar(
-                    benchmark, machine, bar_config(label),
-                    instructions, warmup))
+    result.bars = [bar_result_from_dict(row) for row in engine.run(jobs)]
     result.normalize()
     return result
 
 
 def figure2(instructions: int = DEFAULT_INSTRUCTIONS,
             warmup: int = DEFAULT_WARMUP,
-            benchmarks: Optional[Sequence[str]] = None) -> FigureResult:
+            benchmarks: Optional[Sequence[str]] = None,
+            seed: int = 0, engine=None) -> FigureResult:
     """Figure 2: N/S1/U1/S10/U10 on both machines, thirteen benchmarks."""
     return run_figure(
         "figure2", benchmarks or FIGURE2_BENCHMARKS, ["ooo", "inorder"],
-        ["N", "S1", "U1", "S10", "U10"], instructions, warmup)
+        ["N", "S1", "U1", "S10", "U10"], instructions, warmup,
+        seed=seed, engine=engine)
 
 
 def figure3(instructions: int = DEFAULT_INSTRUCTIONS,
-            warmup: int = DEFAULT_WARMUP) -> FigureResult:
+            warmup: int = DEFAULT_WARMUP,
+            seed: int = 0, engine=None) -> FigureResult:
     """Figure 3: su2cor, which needs its own y-axis."""
     return run_figure("figure3", ["su2cor"], ["ooo", "inorder"],
-                      ["N", "S1", "U1", "S10", "U10"], instructions, warmup)
+                      ["N", "S1", "U1", "S10", "U10"], instructions, warmup,
+                      seed=seed, engine=engine)
 
 
 def handler100(instructions: int = DEFAULT_INSTRUCTIONS,
                warmup: int = DEFAULT_WARMUP,
                benchmarks: Sequence[str] = ("compress", "su2cor", "ora"),
-               ) -> FigureResult:
+               seed: int = 0, engine=None) -> FigureResult:
     """§4.2.2: 100-instruction handlers on the miss-heavy and miss-free ends.
 
     The paper reports these for the in-order model: compress ~6x slower,
     su2cor ~7x slower, ora ~2% overhead.
     """
     return run_figure("handler100", benchmarks, ["inorder"],
-                      ["N", "S100"], instructions, warmup)
+                      ["N", "S100"], instructions, warmup,
+                      seed=seed, engine=engine)
 
 
 def branch_vs_exception(instructions: int = DEFAULT_INSTRUCTIONS,
                         warmup: int = DEFAULT_WARMUP,
-                        benchmark: str = "compress") -> FigureResult:
+                        benchmark: str = "compress",
+                        seed: int = 0, engine=None) -> FigureResult:
     """§4.2.2/§3.2: exception-style traps cost ~7-9% extra on compress."""
     return run_figure("branch_vs_exception", [benchmark], ["ooo"],
-                      ["N", "S1", "E1", "S10", "E10"], instructions, warmup)
+                      ["N", "S1", "E1", "S10", "E10"], instructions, warmup,
+                      seed=seed, engine=engine)
 
 
 def cc_vs_trap(instructions: int = DEFAULT_INSTRUCTIONS,
                warmup: int = DEFAULT_WARMUP,
-               benchmark: str = "compress") -> FigureResult:
+               benchmark: str = "compress",
+               seed: int = 0, engine=None) -> FigureResult:
     """§2.3: the CC check and set-MHAR-per-reference cost about the same."""
     return run_figure("cc_vs_trap", [benchmark], ["ooo", "inorder"],
-                      ["N", "CC1", "U1"], instructions, warmup)
+                      ["N", "CC1", "U1"], instructions, warmup,
+                      seed=seed, engine=engine)

@@ -38,6 +38,7 @@ DESIGN.md §2 for why seeded synthetic stand-ins preserve the evaluation.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Dict, List
 
 from repro.workloads.patterns import (
@@ -268,12 +269,21 @@ FIGURE2_BENCHMARKS: List[str] = INT_BENCHMARKS + [
     name for name in FP_BENCHMARKS if name != "su2cor"]
 
 
-def spec92_workload(name: str) -> SyntheticWorkload:
-    """Instantiate the named benchmark model."""
+def spec92_workload(name: str, seed_offset: int = 0) -> SyntheticWorkload:
+    """Instantiate the named benchmark model.
+
+    ``seed_offset`` shifts the model's generator seed (template and
+    dynamic-stream RNGs) so the same benchmark can be re-rolled from the
+    CLI (``--seed``); 0 — the default — leaves the spec untouched, so the
+    default seed path is bit-identical to the historical behaviour.
+    Per-benchmark seeds stay distinct under any common offset.
+    """
     try:
         spec = SPEC92[name]
     except KeyError:
         raise KeyError(
             f"unknown benchmark {name!r}; choose from {sorted(SPEC92)}"
         ) from None
+    if seed_offset:
+        spec = replace(spec, seed=spec.seed + seed_offset)
     return SyntheticWorkload(spec)

@@ -49,6 +49,38 @@ class TestCoherenceDeterminism:
         assert a.remote_invalidations == b.remote_invalidations
 
 
+class TestSeedOffset:
+    """The --seed CLI path: offset 0 is bit-identical to the historical
+    default; any other offset re-rolls the generators."""
+
+    def test_default_seed_path_unchanged(self):
+        base = spec92_workload("compress")
+        explicit = spec92_workload("compress", seed_offset=0)
+        assert explicit.spec == base.spec
+        a = [(i.op, i.addr, i.pc) for i in base.stream(2000)]
+        b = [(i.op, i.addr, i.pc) for i in explicit.stream(2000)]
+        assert a == b
+
+    def test_offset_changes_stream(self):
+        base = [(i.op, i.addr, i.pc)
+                for i in spec92_workload("compress").stream(2000)]
+        offset = [(i.op, i.addr, i.pc)
+                  for i in spec92_workload("compress",
+                                           seed_offset=7).stream(2000)]
+        assert base != offset
+
+    def test_offset_is_deterministic(self):
+        a = run_bar("ora", "inorder", bar_config("N"), 2000, 500, seed=3)
+        b = run_bar("ora", "inorder", bar_config("N"), 2000, 500, seed=3)
+        assert a == b
+
+    def test_run_bar_default_seed_matches_unseeded(self):
+        seeded = run_bar("ora", "inorder", bar_config("N"), 2000, 500,
+                         seed=0)
+        unseeded = run_bar("ora", "inorder", bar_config("N"), 2000, 500)
+        assert seeded == unseeded
+
+
 class TestStreamIndependence:
     def test_consuming_one_stream_does_not_affect_another(self):
         workload = spec92_workload("alvinn")

@@ -1,0 +1,97 @@
+"""The on-disk content-addressed result cache."""
+
+import json
+
+import pytest
+
+from repro.exec import ExecOptions, JobRunner, ResultCache, SimJob
+from repro.exec.cache import default_cache_dir
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+def job(**overrides):
+    fields = dict(benchmark="ora", machine="inorder", label="N",
+                  instructions=2000, warmup=500, seed=0)
+    fields.update(overrides)
+    return SimJob.bar(**fields)
+
+
+class TestStore:
+    def test_roundtrip(self, store):
+        result = {"cycles": 123, "benchmark": "ora"}
+        store.put(job(), result)
+        assert store.get(job()) == result
+        assert store.stats.hits == 1 and store.stats.stores == 1
+
+    def test_miss_on_empty(self, store):
+        assert store.get(job()) is None
+        assert store.stats.misses == 1
+
+    def test_different_job_misses(self, store):
+        store.put(job(), {"cycles": 1})
+        assert store.get(job(seed=5)) is None
+
+    def test_entry_is_self_describing(self, store):
+        path = store.put(job(), {"cycles": 9})
+        blob = json.loads(path.read_text())
+        assert blob["job"]["benchmark"] == "ora"
+        assert blob["key"] == job().cache_key()
+        assert blob["result"] == {"cycles": 9}
+
+    def test_stale_schema_invalidated(self, store):
+        path = store.put(job(), {"cycles": 1})
+        blob = json.loads(path.read_text())
+        blob["schema"] = -1
+        path.write_text(json.dumps(blob))
+        assert store.get(job()) is None
+        assert store.stats.invalidations == 1
+        assert not path.exists()
+
+    def test_corrupt_entry_invalidated(self, store):
+        path = store.put(job(), {"cycles": 1})
+        path.write_text("{not json")
+        assert store.get(job()) is None
+        assert store.stats.invalidations == 1
+
+    def test_purge_and_counts(self, store):
+        store.put(job(), {"cycles": 1})
+        store.put(job(seed=1), {"cycles": 2})
+        assert store.entry_count() == 2
+        assert store.size_bytes() > 0
+        assert store.purge() == 2
+        assert store.entry_count() == 0
+
+    def test_env_var_controls_default_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "alt"))
+        assert default_cache_dir() == tmp_path / "alt"
+        assert ResultCache().root == tmp_path / "alt"
+
+
+class TestCacheThroughEngine:
+    def test_hit_equals_fresh_run(self, tmp_path):
+        """A cached result is exactly what a fresh simulation produces."""
+        jobs = [job(), job(label="S10")]
+        cold = JobRunner(ExecOptions(jobs=1, cache=True,
+                                     cache_dir=str(tmp_path)))
+        first = cold.run(jobs)
+        assert cold.cache.stats.stores == 2
+
+        warm = JobRunner(ExecOptions(jobs=1, cache=True,
+                                     cache_dir=str(tmp_path)))
+        second = warm.run(jobs)
+        assert warm.stats.cache_hits == 2
+        assert warm.stats.executed == 0
+
+        fresh = JobRunner(ExecOptions(jobs=1, cache=False)).run(jobs)
+        assert first == second == fresh
+
+    def test_no_cache_option_never_touches_disk(self, tmp_path):
+        runner = JobRunner(ExecOptions(jobs=1, cache=False,
+                                       cache_dir=str(tmp_path)))
+        runner.run([job()])
+        assert runner.cache is None
+        assert not any(tmp_path.iterdir())

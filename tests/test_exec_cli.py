@@ -1,0 +1,42 @@
+"""The ``python -m repro.exec cache`` management CLI."""
+
+import pytest
+
+from repro.exec import ExecOptions, JobRunner, SimJob
+from repro.exec.cli import main
+from tests.test_exec_engine import echo_execute
+
+
+@pytest.fixture
+def warm_dir(tmp_path):
+    """A cache directory holding two entries."""
+    jobs = [SimJob.bar(benchmark=name, machine="m", label="N",
+                       instructions=1, warmup=0) for name in ("a", "b")]
+    JobRunner(ExecOptions(jobs=1, cache=True, cache_dir=str(tmp_path)),
+              execute=echo_execute).run(jobs)
+    return tmp_path
+
+
+def test_stats(warm_dir, capsys):
+    assert main(["cache", "stats", "--dir", str(warm_dir)]) == 0
+    out = capsys.readouterr().out
+    assert str(warm_dir) in out
+    assert "entries     2" in out
+
+
+def test_purge(warm_dir, capsys):
+    assert main(["cache", "purge", "--dir", str(warm_dir)]) == 0
+    assert "purged 2" in capsys.readouterr().out
+    main(["cache", "stats", "--dir", str(warm_dir)])
+    assert "entries     0" in capsys.readouterr().out
+
+
+def test_path_honours_env(tmp_path, monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env-cache"))
+    assert main(["cache", "path"]) == 0
+    assert str(tmp_path / "env-cache") in capsys.readouterr().out
+
+
+def test_requires_subcommand():
+    with pytest.raises(SystemExit):
+        main([])

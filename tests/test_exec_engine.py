@@ -1,0 +1,222 @@
+"""Scheduler behaviour: ordering, parallel equivalence, retries, timeout,
+telemetry."""
+
+import json
+import time
+
+import pytest
+
+from repro.exec import (
+    CollectingSink,
+    ExecOptions,
+    JobFailedError,
+    JobRunner,
+    JobTimeoutError,
+    SimJob,
+    TransientJobError,
+)
+
+# -- pluggable payloads (module-level: picklable by reference) ---------------
+
+
+def echo_execute(job):
+    return {"label": job.label, "seed": job.seed}
+
+
+def flaky_execute(job):
+    """Fail with a transient error until the shared counter reaches the
+    threshold encoded in the job; cross-process state lives in a file
+    whose path rides in the job's benchmark field."""
+    counter_path, threshold = job.benchmark, job.seed
+    try:
+        with open(counter_path) as fh:
+            count = int(fh.read() or "0")
+    except FileNotFoundError:
+        count = 0
+    count += 1
+    with open(counter_path, "w") as fh:
+        fh.write(str(count))
+    if count <= threshold:
+        raise TransientJobError(f"flaky attempt {count}")
+    return {"attempts": count}
+
+
+def fatal_execute(job):
+    raise ValueError("this payload is broken")
+
+
+def slow_execute(job):
+    time.sleep(job.seed)
+    return {"slept": job.seed}
+
+
+def make_job(name="a", seed=0):
+    return SimJob.bar(benchmark=name, machine="m", label="L",
+                      instructions=1, warmup=0, seed=seed)
+
+
+def fast_options(**overrides):
+    fields = dict(jobs=1, cache=False, backoff=0.01)
+    fields.update(overrides)
+    return ExecOptions(**fields)
+
+
+# -- ordering and equivalence ------------------------------------------------
+
+
+class TestOrdering:
+    def test_results_in_job_order_serial(self):
+        jobs = [make_job(name) for name in "abcde"]
+        results = JobRunner(fast_options(), execute=echo_execute).run(jobs)
+        assert [r["label"] for r in results] == [j.label for j in jobs]
+
+    def test_results_in_job_order_parallel(self):
+        jobs = [make_job(name) for name in "abcde"]
+        results = JobRunner(fast_options(jobs=3),
+                            execute=echo_execute).run(jobs)
+        assert [r["label"] for r in results] == [j.label for j in jobs]
+
+
+class TestParallelEquivalence:
+    def test_small_figure_grid_identical(self):
+        """jobs=4 must reproduce the serial grid bit-for-bit."""
+        from repro.harness.export import figure_to_dict
+        from repro.harness.runner import run_figure
+
+        serial = run_figure(
+            "equiv", ["ora"], ["ooo", "inorder"], ["N", "S10"], 2000, 500,
+            engine=JobRunner(fast_options()))
+        parallel = run_figure(
+            "equiv", ["ora"], ["ooo", "inorder"], ["N", "S10"], 2000, 500,
+            engine=JobRunner(fast_options(jobs=4)))
+        assert figure_to_dict(serial) == figure_to_dict(parallel)
+
+
+# -- retries -----------------------------------------------------------------
+
+
+class TestRetries:
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_transient_failure_retried_until_success(self, tmp_path, jobs):
+        counter = tmp_path / "count"
+        job = SimJob.bar(benchmark=str(counter), machine="m", label="L",
+                         instructions=1, warmup=0, seed=2)  # fail twice
+        trace = tmp_path / "trace.jsonl"
+        runner = JobRunner(
+            fast_options(jobs=jobs, retries=2, trace_path=str(trace)),
+            execute=flaky_execute)
+        results = runner.run([job])
+        assert results[0] == {"attempts": 3}
+        assert runner.stats.retries == 2
+        events = [json.loads(line) for line in trace.read_text().splitlines()]
+        retried = [e for e in events if e["event"] == "retried"]
+        assert len(retried) == 2
+        assert all("flaky attempt" in e["error"] for e in retried)
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_retry_budget_exhausted_fails_run(self, tmp_path, jobs):
+        counter = tmp_path / "count"
+        job = SimJob.bar(benchmark=str(counter), machine="m", label="L",
+                         instructions=1, warmup=0, seed=99)  # never succeeds
+        runner = JobRunner(fast_options(jobs=jobs, retries=1),
+                           execute=flaky_execute)
+        with pytest.raises(JobFailedError, match="failed after 2 attempt"):
+            runner.run([job])
+        assert runner.stats.failed == 1
+
+    def test_non_transient_error_fails_immediately(self):
+        runner = JobRunner(fast_options(retries=5), execute=fatal_execute)
+        with pytest.raises(JobFailedError, match="this payload is broken"):
+            runner.run([make_job()])
+        assert runner.stats.retries == 0
+
+
+# -- timeout -----------------------------------------------------------------
+
+
+class TestTimeout:
+    def test_parallel_timeout_aborts_with_clear_message(self):
+        job = make_job(seed=30)  # would sleep 30s
+        runner = JobRunner(fast_options(jobs=2, timeout=0.3),
+                           execute=slow_execute)
+        start = time.monotonic()
+        with pytest.raises(JobTimeoutError, match="per-job timeout"):
+            runner.run([job])
+        assert time.monotonic() - start < 10  # aborted, not hung
+
+    def test_serial_timeout_detected_post_hoc(self):
+        job = make_job(seed=0.2)
+        runner = JobRunner(fast_options(timeout=0.05),
+                           execute=slow_execute)
+        with pytest.raises(JobTimeoutError, match="serial mode"):
+            runner.run([job])
+
+    def test_fast_jobs_pass_under_timeout(self):
+        runner = JobRunner(fast_options(jobs=2, timeout=30),
+                           execute=echo_execute)
+        assert len(runner.run([make_job("a"), make_job("b")])) == 2
+
+
+# -- telemetry ---------------------------------------------------------------
+
+
+class TestTelemetry:
+    def test_event_sequence_per_job(self):
+        sink = CollectingSink()
+        runner = JobRunner(fast_options(), execute=echo_execute,
+                           sinks=[sink])
+        runner.run([make_job()])
+        assert sink.names() == ["queued", "started", "finished"]
+        finished = sink.events[-1]
+        assert finished.cache == "off"
+        assert finished.wall is not None and finished.wall >= 0
+
+    def test_cache_hit_event_and_stats(self, tmp_path):
+        sink = CollectingSink()
+        options = fast_options(cache=True, cache_dir=str(tmp_path))
+        JobRunner(options, execute=echo_execute).run([make_job()])
+        warm = JobRunner(fast_options(cache=True, cache_dir=str(tmp_path)),
+                         execute=echo_execute, sinks=[sink])
+        warm.run([make_job()])
+        assert sink.names() == ["queued", "cache_hit", "finished"]
+        assert warm.stats.cache_hits == 1
+        assert warm.stats.cache_hit_rate == 1.0
+
+    def test_stats_accumulate_across_runs(self):
+        runner = JobRunner(fast_options(), execute=echo_execute)
+        runner.run([make_job("a")])
+        runner.run([make_job("b")])
+        assert runner.stats.jobs == 2
+        assert runner.stats.finished == 2
+
+    def test_summary_mentions_jobs_and_cache(self):
+        runner = JobRunner(fast_options(), execute=echo_execute)
+        runner.run([make_job()])
+        summary = runner.stats.summary()
+        assert "jobs" in summary and "cache" in summary and "wall" in summary
+
+    def test_trace_jsonl_is_parseable(self, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        runner = JobRunner(fast_options(jobs=2, trace_path=str(trace)),
+                           execute=echo_execute)
+        runner.run([make_job("a"), make_job("b")])
+        events = [json.loads(line) for line in trace.read_text().splitlines()]
+        assert {e["event"] for e in events} == {"queued", "started",
+                                               "finished"}
+        assert all(set(e) >= {"event", "key", "label", "timestamp"}
+                   for e in events)
+
+
+class TestBench:
+    def test_record_run_merges_entries(self, tmp_path):
+        from repro.exec import record_run
+
+        path = tmp_path / "BENCH.json"
+        runner = JobRunner(fast_options(), execute=echo_execute)
+        runner.run([make_job()])
+        entry = record_run(path, "exp-a", runner)
+        assert entry["jobs"] == 1 and entry["workers"] == 1
+        record_run(path, "exp-b", runner)
+        data = json.loads(path.read_text())
+        assert set(data["experiments"]) == {"exp-a", "exp-b"}
+        assert data["schema"] == 1

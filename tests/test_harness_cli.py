@@ -25,7 +25,7 @@ class TestCLIExperiments:
     def test_figure2_subset_with_json(self, capsys, tmp_path):
         path = tmp_path / "f2.json"
         assert main(["figure2", "--quick", "--benchmarks", "espresso",
-                     "--json", str(path)]) == 0
+                     "--json", str(path), "--no-cache", "--no-bench"]) == 0
         out = capsys.readouterr().out
         assert "espresso" in out
         data = json.loads(path.read_text())
@@ -40,9 +40,139 @@ class TestCLIExperiments:
         assert "memory fraction" in out
 
     def test_handler100_quick(self, capsys):
-        assert main(["handler100", "--quick"]) == 0
+        assert main(["handler100", "--quick", "--no-cache",
+                     "--no-bench"]) == 0
         assert "S100" in capsys.readouterr().out
 
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["figure9"])
+
+
+class TestCLIEngineFlags:
+    F2 = ["figure2", "--quick", "--benchmarks", "espresso"]
+
+    def run_json(self, args, tmp_path, name="out.json"):
+        path = tmp_path / name
+        assert main(args + ["--json", str(path)]) == 0
+        return json.loads(path.read_text())
+
+    def test_jobs_parallel_matches_serial(self, capsys, tmp_path):
+        serial = self.run_json(
+            self.F2 + ["--jobs", "1", "--no-cache", "--no-bench"],
+            tmp_path, "serial.json")
+        parallel = self.run_json(
+            self.F2 + ["--jobs", "4", "--no-cache", "--no-bench"],
+            tmp_path, "parallel.json")
+        assert serial == parallel
+        capsys.readouterr()
+
+    def test_cache_round_trip_reports_hits(self, capsys, tmp_path,
+                                           monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        assert main(self.F2 + ["--no-bench"]) == 0
+        cold = capsys.readouterr().out
+        assert "0 hits" in cold
+        assert main(self.F2 + ["--no-bench"]) == 0
+        warm = capsys.readouterr().out
+        assert "10 hits / 0 misses (100% hit rate)" in warm
+
+    def test_seed_flag_changes_results(self, capsys, tmp_path):
+        base = self.run_json(
+            self.F2 + ["--no-cache", "--no-bench"], tmp_path, "s0.json")
+        seeded = self.run_json(
+            self.F2 + ["--no-cache", "--no-bench", "--seed", "9"],
+            tmp_path, "s9.json")
+        assert base != seeded
+        capsys.readouterr()
+
+    def test_seed_rejected_for_non_workload_experiments(self):
+        with pytest.raises(SystemExit):
+            main(["table1", "--seed", "5"])
+
+    def test_trace_written(self, capsys, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        assert main(self.F2 + ["--no-cache", "--no-bench",
+                               "--trace", str(trace)]) == 0
+        events = [json.loads(line)
+                  for line in trace.read_text().splitlines()]
+        assert {e["event"] for e in events} == {"queued", "started",
+                                                "finished"}
+        capsys.readouterr()
+
+    def test_bench_file_written(self, capsys, tmp_path):
+        bench = tmp_path / "BENCH_harness.json"
+        assert main(self.F2 + ["--no-cache", "--bench", str(bench)]) == 0
+        data = json.loads(bench.read_text())
+        entry = data["experiments"]["figure2"]
+        assert entry["jobs"] == 10
+        assert entry["workers"] == 1
+        assert entry["wall_seconds"] > 0
+        capsys.readouterr()
+
+    def test_bad_jobs_rejected(self):
+        with pytest.raises(SystemExit):
+            main(self.F2 + ["--jobs", "0"])
+
+
+class TestCLIJsonEverywhere:
+    """--json must work (not silently no-op) for every experiment."""
+
+    def test_handler100_json(self, capsys, tmp_path):
+        path = tmp_path / "h100.json"
+        assert main(["handler100", "--quick", "--no-cache", "--no-bench",
+                     "--json", str(path)]) == 0
+        data = json.loads(path.read_text())
+        assert {bar["label"] for bar in data["bars"]} == {"N", "S100"}
+        capsys.readouterr()
+
+    def test_cc_vs_trap_json(self, capsys, tmp_path):
+        path = tmp_path / "cc.json"
+        assert main(["cc-vs-trap", "--quick", "--no-cache", "--no-bench",
+                     "--json", str(path)]) == 0
+        data = json.loads(path.read_text())
+        assert {bar["label"] for bar in data["bars"]} == {"N", "CC1", "U1"}
+        capsys.readouterr()
+
+    def test_branch_vs_exception_json(self, capsys, tmp_path):
+        path = tmp_path / "bve.json"
+        assert main(["branch-vs-exception", "--quick", "--no-cache",
+                     "--no-bench", "--json", str(path)]) == 0
+        data = json.loads(path.read_text())
+        assert "E10" in {bar["label"] for bar in data["bars"]}
+        capsys.readouterr()
+
+    def test_table1_json(self, capsys, tmp_path):
+        path = tmp_path / "t1.json"
+        assert main(["table1", "--json", str(path)]) == 0
+        data = json.loads(path.read_text())
+        assert data["ooo"]["core"]["issue_width"] == 4
+        capsys.readouterr()
+
+    def test_table2_json(self, capsys, tmp_path):
+        path = tmp_path / "t2.json"
+        assert main(["table2", "--json", str(path)]) == 0
+        data = json.loads(path.read_text())
+        assert data["machine"]["message_latency"] == 900
+        assert "INFORMING" in data["method_costs"]
+        capsys.readouterr()
+
+    def test_sensitivity_json(self, capsys, tmp_path):
+        path = tmp_path / "sens.json"
+        assert main(["sensitivity", "--no-bench", "--no-cache",
+                     "--benchmarks", "read_mostly",
+                     "--json", str(path)]) == 0
+        data = json.loads(path.read_text())
+        assert len(data["points"]) >= 4
+        assert {"message_latency", "l1_size", "reference_checking",
+                "ecc"} <= set(data["points"][0])
+        capsys.readouterr()
+
+    def test_characterize_json(self, capsys, tmp_path):
+        path = tmp_path / "char.json"
+        assert main(["characterize", "--quick", "--benchmarks", "ora",
+                     "--json", str(path)]) == 0
+        data = json.loads(path.read_text())
+        assert data["ora"]["instructions"] == 10_000
+        assert 0.0 < data["ora"]["mem_fraction"] < 1.0
+        capsys.readouterr()
