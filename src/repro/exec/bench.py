@@ -4,6 +4,14 @@ Every engine-backed CLI experiment appends/updates one entry keyed by
 experiment name — wall time, worker count, job/cache/retry accounting —
 so the repo accumulates a bench trajectory that scripts (and future
 perf PRs) can diff without scraping stdout.
+
+Schema 2 keeps **cold and warm runs apart**: a run that simulated every
+job (no cache hits) lands under ``"cold"``, a run served at least partly
+from the content-addressed cache lands under ``"warm"``.  The two walls
+measure different things — simulator speed vs cache/orchestration
+overhead — and schema 1 silently overwrote one with the other, which made
+the trajectory useless for perf comparisons the moment anyone ran with a
+warm cache.
 """
 
 from __future__ import annotations
@@ -13,15 +21,25 @@ import time
 from pathlib import Path
 from typing import Any, Dict
 
-BENCH_SCHEMA = 1
+BENCH_SCHEMA = 2
 DEFAULT_BENCH_PATH = "BENCH_harness.json"
+
+#: Cache-temperature slots within one experiment's bench entry.
+TEMPERATURES = ("cold", "warm")
+
+
+def run_temperature(stats_dict: Dict[str, Any]) -> str:
+    """Classify a run: ``"warm"`` if any job came from cache else ``"cold"``."""
+    return "warm" if stats_dict.get("cache_hits", 0) > 0 else "cold"
 
 
 def record_run(path, experiment: str, runner) -> Dict[str, Any]:
     """Merge one experiment's run stats from *runner* into the bench file.
 
-    Returns the entry written.  The file maps experiment name → most
-    recent run; corrupt or old-schema files are replaced wholesale.
+    Returns the entry written.  The file maps experiment name →
+    ``{"cold": ..., "warm": ...}`` (each slot holds the most recent run of
+    that temperature; a cold run never clobbers the warm baseline and vice
+    versa).  Corrupt or old-schema files are replaced wholesale.
     """
     path = Path(path)
     try:
@@ -36,7 +54,10 @@ def record_run(path, experiment: str, runner) -> Dict[str, Any]:
     entry["workers"] = runner.options.jobs
     entry["cache_enabled"] = runner.cache is not None
     entry["timestamp"] = time.time()
-    data["experiments"][experiment] = entry
+    temperature = run_temperature(entry)
+    entry["temperature"] = temperature
+    slot = data["experiments"].setdefault(experiment, {})
+    slot[temperature] = entry
     data["updated"] = entry["timestamp"]
     path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
     return entry

@@ -12,6 +12,12 @@ Usage::
     python -m repro.harness table1
     python -m repro.harness table2
     python -m repro.harness characterize [--benchmarks a,b]
+    python -m repro.harness profile [--top N] [--sort KEY] <command...>
+
+``profile`` wraps any other invocation in cProfile and prints the top-N
+hot functions afterwards, e.g.::
+
+    python -m repro.harness profile --top 30 figure2 --quick --jobs 1
 
 ``--quick`` shrinks run lengths by 4x for smoke testing; ``--json PATH``
 writes any experiment's results as JSON.
@@ -261,5 +267,60 @@ def main(argv=None) -> int:
     return 0
 
 
+def profile_main(argv) -> int:
+    """``profile`` subcommand: cProfile any other harness invocation.
+
+    Everything not recognised here is forwarded to :func:`main`, so any
+    experiment and engine flag combination can be profiled.  Profiled runs
+    are forced to ``--no-bench`` — their timings include profiler overhead
+    and must not pollute the timing baseline.  Use ``--jobs 1`` (the
+    default) when profiling: worker subprocesses escape the profiler.
+    """
+    import cProfile
+    import pstats
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness profile",
+        description="Run a harness command under cProfile and print the "
+                    "hottest functions.")
+    parser.add_argument("--top", type=int, default=25, metavar="N",
+                        help="functions to print (default 25)")
+    parser.add_argument("--sort", choices=("tottime", "cumtime", "ncalls"),
+                        default="tottime",
+                        help="pstats sort key (default tottime)")
+    parser.add_argument("--dump", default=None, metavar="PATH",
+                        help="also write raw pstats data for snakeviz "
+                             "and friends")
+    args, rest = parser.parse_known_args(argv)
+    if not rest:
+        parser.error("expected a harness command to profile, e.g. "
+                     "'profile figure2 --quick'")
+    if "--no-bench" not in rest:
+        rest.append("--no-bench")
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        rc = main(rest)
+    finally:
+        profiler.disable()
+        stats = pstats.Stats(profiler, stream=sys.stdout)
+        stats.sort_stats(args.sort)
+        print(f"\n--- cProfile: top {args.top} by {args.sort} ---")
+        stats.print_stats(args.top)
+        if args.dump:
+            stats.dump_stats(args.dump)
+            print(f"raw profile written to {args.dump}")
+    return rc
+
+
+def dispatch(argv=None) -> int:
+    """Route ``profile`` to the wrapper, everything else to :func:`main`."""
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if argv and argv[0] == "profile":
+        return profile_main(argv[1:])
+    return main(argv)
+
+
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(dispatch())

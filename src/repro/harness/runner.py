@@ -55,16 +55,26 @@ def bar_config(label: str) -> BarConfig:
     Labels: ``N`` (baseline); ``S<n>``/``U<n>`` — single/unique trap handler
     of n instructions; ``CC<n>`` — condition-code scheme with n-instruction
     per-reference handlers; ``E<n>`` — exception-style single trap handler.
+
+    Raises:
+        ValueError: for any malformed label (unknown prefix, or a missing /
+            non-decimal handler length, e.g. ``"S"`` or ``"Ux"``).
     """
     if label == "N":
         return BarConfig("N", None)
-    kind, n = label[0], label.lstrip("SUECX")
     if label.startswith("CC"):
-        n = int(label[2:])
+        kind, digits = "CC", label[2:]
+    else:
+        kind, digits = label[:1], label[1:]
+    if kind not in ("S", "U", "E", "CC") or not digits.isdigit():
+        raise ValueError(
+            f"unknown bar label {label!r}: expected 'N', 'S<n>', 'U<n>', "
+            f"'E<n>' or 'CC<n>' with a decimal handler length")
+    n = int(digits)
+    if kind == "CC":
         return BarConfig(label, InformingConfig(
             mechanism=Mechanism.CONDITION_CODE,
             handler=GenericHandler(n, unique=True)), "cc")
-    n = int(n)
     if kind == "S":
         return BarConfig(label, InformingConfig(
             mechanism=Mechanism.TRAP, handler=GenericHandler(n)))
@@ -72,11 +82,9 @@ def bar_config(label: str) -> BarConfig:
         return BarConfig(label, InformingConfig(
             mechanism=Mechanism.TRAP, handler=GenericHandler(n, unique=True),
             unique_handlers=True), "mhar")
-    if kind == "E":
-        return BarConfig(label, InformingConfig(
-            mechanism=Mechanism.TRAP, trap_style=TrapStyle.EXCEPTION_LIKE,
-            handler=GenericHandler(n)))
-    raise ValueError(f"unknown bar label {label!r}")
+    return BarConfig(label, InformingConfig(
+        mechanism=Mechanism.TRAP, trap_style=TrapStyle.EXCEPTION_LIKE,
+        handler=GenericHandler(n)))
 
 
 @dataclass

@@ -24,7 +24,7 @@ from repro.branch import TwoBitCounterPredictor
 from repro.core.engine import InformingEngine
 from repro.core.mechanisms import InformingConfig, Mechanism
 from repro.isa.instructions import DynInst
-from repro.isa.opclass import FU_FOR_OP, OpClass
+from repro.isa.opclass import OpClass
 from repro.isa.registers import NUM_REGS, REG_ZERO
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.pipeline import CoreConfig, FUPool, GraduationStats, StreamStack
@@ -121,6 +121,32 @@ class InOrderCore:
         is_cc = engine.mechanism is Mechanism.CONDITION_CODE
         is_trap = engine.mechanism is Mechanism.TRAP
 
+        # Hot-loop bindings: this loop turns over once per simulated cycle
+        # and several times per instruction, so attribute/global lookups and
+        # enum hashing are hoisted out of it.
+        op_load = OpClass.LOAD
+        op_store = OpClass.STORE
+        op_prefetch = OpClass.PREFETCH
+        op_branch = OpClass.BRANCH
+        op_blmiss = OpClass.BLMISS
+        op_mhar_set = OpClass.MHAR_SET
+        stack_fetch = stack.fetch
+        stack_committed = stack.committed
+        # Same-package private access: resetting availability is one slice
+        # assignment per cycle, not worth a method call.
+        fu_avail = fu._avail
+        fu_counts = fu._counts
+        fu_take = fu.take_code
+        hier_access = hierarchy.access
+        hier_ifetch = hierarchy.ifetch
+        lat_list = config.latencies.as_list()
+        mispredict_penalty = config.mispredict_penalty
+        engine_wants = engine.wants
+        extended_mshrs = hierarchy.mshrs.extended_lifetime
+        # Graduation slots accumulate in locals and flush in blocks
+        # (see GraduationStats.record_cycles).
+        acc_cycles = acc_busy = acc_cache = acc_other = 0
+
         while True:
             # ---- informing replay trap fires ------------------------------
             if pending_trap is not None and cycle >= pending_trap[0]:
@@ -149,21 +175,30 @@ class InOrderCore:
             while (inflight and committed < width
                    and inflight[0].complete_cycle <= cycle):
                 entry = inflight.popleft()
-                self._release_mshr(entry, squashed=False)
-                stack.committed(entry.point)
+                if extended_mshrs and entry.mshr_id is not None:
+                    hierarchy.release_mshr(entry.mshr_id, False)
+                stack_committed(entry.point)
                 inst = entry.inst
-                if inst.handler_code or inst.op in _OVERHEAD_OPS:
+                op = inst.op
+                if (inst.handler_code or op is op_mhar_set
+                        or op is op_blmiss or op is op_prefetch):
                     stats.handler_instructions += 1
                 else:
                     stats.app_instructions += 1
                     app_committed += 1
                     if app_committed == warmup_insts:
+                        # Pre-warm-up slots die with the old stats object.
+                        acc_cycles = acc_busy = acc_cache = acc_other = 0
                         stats = self._reset_stats()
                 committed += 1
-            cache_blame = bool(
-                inflight and inflight[0].was_miss
-                and inflight[0].complete_cycle > cycle)
-            stats.record_cycle(committed, cache_blame)
+            acc_cycles += 1
+            acc_busy += committed
+            lost = width - committed
+            if (inflight and inflight[0].was_miss
+                    and inflight[0].complete_cycle > cycle):
+                acc_cache += lost
+            else:
+                acc_other += lost
 
             if max_app_insts is not None and app_committed >= max_app_insts:
                 break
@@ -174,14 +209,14 @@ class InOrderCore:
             # ---- fetch ----------------------------------------------------
             if cycle >= fetch_blocked_until:
                 while len(fetch_queue) < max_fetch_queue:
-                    item = stack.fetch()
+                    item = stack_fetch()
                     if item is None:
                         stream_done = True
                         break
                     inst, point = item
                     line = inst.pc >> 5
                     if line != last_fetch_line:
-                        ready = hierarchy.ifetch(inst.pc, cycle)
+                        ready = hier_ifetch(inst.pc, cycle)
                         last_fetch_line = line
                         if ready > cycle:
                             # I-cache miss: replay this fetch when ready.
@@ -192,7 +227,7 @@ class InOrderCore:
                     fetch_queue.append((inst, point))
 
             # ---- issue (strictly in order, up to width) --------------------
-            fu.new_cycle()
+            fu_avail[:] = fu_counts
             issued = 0
             while fetch_queue and issued < width:
                 inst, point = fetch_queue[0]
@@ -204,18 +239,18 @@ class InOrderCore:
                         break
                 if not ready:
                     break
-                if not fu.try_take(FU_FOR_OP[op]):
+                if not fu_take(op.fu_code):
                     break
                 fetch_queue.popleft()
                 issued += 1
                 seq += 1
 
-                if op in (OpClass.LOAD, OpClass.STORE, OpClass.PREFETCH):
-                    result = hierarchy.access(
-                        inst.addr, inst.is_store, cycle,
-                        prefetch=op is OpClass.PREFETCH)
+                if op is op_load or op is op_store or op is op_prefetch:
+                    is_prefetch = op is op_prefetch
+                    result = hier_access(inst.addr, op is op_store, cycle,
+                                         prefetch=is_prefetch)
                     if result is None:
-                        if op is OpClass.PREFETCH:
+                        if is_prefetch:
                             inflight.append(
                                 _InFlight(inst, point, seq, cycle + 1))
                             continue
@@ -224,10 +259,11 @@ class InOrderCore:
                         issued -= 1
                         seq -= 1
                         break
-                    if op is OpClass.LOAD:
+                    if op is op_load:
                         complete = result.ready_cycle
-                        if inst.dest is not None and inst.dest != REG_ZERO:
-                            reg_ready[inst.dest] = complete
+                        dest = inst.dest
+                        if dest is not None and dest != REG_ZERO:
+                            reg_ready[dest] = complete
                     else:
                         # Stores retire into the write buffer; a
                         # write-allocate miss fetch proceeds in background.
@@ -240,7 +276,7 @@ class InOrderCore:
                     # arms the trap, and a merged reference re-arms only if
                     # the fetch it joined was never informed (its trigger
                     # was squashed first).  See AccessResult.needs_inform.
-                    if op is not OpClass.PREFETCH and not inst.handler_code:
+                    if not is_prefetch and not inst.handler_code:
                         cc_outcome_cycle = cycle + TAG_CHECK_DELAY
                         if result.needs_inform:
                             cc_missed_ref = inst
@@ -249,7 +285,7 @@ class InOrderCore:
                             cc_missed_ref = None
                         if (is_trap and result.needs_inform
                                 and pending_trap is None
-                                and engine.wants(inst)):
+                                and engine_wants(inst)):
                             pending_trap = (cycle + TAG_CHECK_DELAY, entry,
                                             inst, result.mshr_id)
                             # The op may not commit before its replay trap
@@ -259,13 +295,14 @@ class InOrderCore:
                                 cycle + TAG_CHECK_DELAY)
                     continue
 
-                complete = cycle + config.latencies.latency_of(op)
+                complete = cycle + lat_list[op.op_code]
                 entry = _InFlight(inst, point, seq, complete)
                 inflight.append(entry)
-                if inst.dest is not None and inst.dest != REG_ZERO:
-                    reg_ready[inst.dest] = complete
+                dest = inst.dest
+                if dest is not None and dest != REG_ZERO:
+                    reg_ready[dest] = complete
 
-                if op is OpClass.BRANCH:
+                if op is op_branch:
                     predicted = self.predictor.predict(inst.pc)
                     self.predictor.update(inst.pc, inst.taken)
                     if predicted != inst.taken:
@@ -273,19 +310,19 @@ class InOrderCore:
                         stats.branch_mispredicts += 1
                         fetch_blocked_until = max(
                             fetch_blocked_until,
-                            complete + config.mispredict_penalty)
+                            complete + mispredict_penalty)
                     elif inst.taken:
                         # Correctly-predicted taken branch: one fetch bubble.
                         fetch_blocked_until = max(fetch_blocked_until,
                                                   cycle + 1)
-                elif op is OpClass.BLMISS:
+                elif op is op_blmiss:
                     # Explicit check, predicted not-taken, so it issues
                     # without waiting for the condition code: free on a
                     # hit; a miss resolves like a mispredicted branch once
                     # the tag check completes.
                     if (is_cc and cc_missed_ref is not None
                             and pending_trap is None
-                            and engine.wants(cc_missed_ref)):
+                            and engine_wants(cc_missed_ref)):
                         fire = max(cycle + 1, cc_outcome_cycle)
                         pending_trap = (fire, entry, cc_missed_ref,
                                         cc_missed_mshr)
@@ -296,6 +333,7 @@ class InOrderCore:
 
             cycle += 1
 
+        stats.record_cycles(acc_cycles, acc_busy, acc_cache, acc_other)
         return stats
 
     def _reset_stats(self) -> GraduationStats:

@@ -52,7 +52,8 @@ class DynInst:
         informing: bool = True,
         handler_code: bool = False,
     ) -> None:
-        if is_mem_op(op) and addr is None:
+        if addr is None and (op is OpClass.LOAD or op is OpClass.STORE
+                             or op is OpClass.PREFETCH):
             raise ValueError(f"{op} requires an effective address")
         if op is OpClass.BRANCH and taken is None:
             raise ValueError("conditional branch requires a resolved outcome")

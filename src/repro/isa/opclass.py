@@ -67,6 +67,31 @@ FU_FOR_OP = {
     OpClass.NOP: FUKind.NONE,
 }
 
+#: Dense integer codes for the FU kinds, in a fixed order the cores and
+#: :class:`repro.pipeline.fu.FUPool` agree on.  Indexing a list by these
+#: codes avoids Python-level ``Enum.__hash__`` calls on the issue path.
+FU_INT, FU_FP, FU_BRANCH, FU_MEMORY, FU_NONE = range(5)
+
+_FU_CODE = {
+    FUKind.INT: FU_INT,
+    FUKind.FP: FU_FP,
+    FUKind.BRANCH: FU_BRANCH,
+    FUKind.MEMORY: FU_MEMORY,
+    FUKind.NONE: FU_NONE,
+}
+
+# Each member carries its code as a plain instance attribute so hot loops
+# can read ``op.fu_code``/``kind.fu_code`` without any dict lookup.
+for _kind, _code in _FU_CODE.items():
+    _kind.fu_code = _code
+for _op, _kind in FU_FOR_OP.items():
+    _op.fu_code = _FU_CODE[_kind]
+
+# A dense per-op index (declaration order) for list-backed per-op tables,
+# e.g. LatencyTable.as_list().
+for _index, _op in enumerate(OpClass):
+    _op.op_code = _index
+
 _MEM_OPS = frozenset({OpClass.LOAD, OpClass.STORE, OpClass.PREFETCH})
 _CTRL_OPS = frozenset(
     {OpClass.BRANCH, OpClass.JUMP, OpClass.MHRR_JUMP, OpClass.BLMISS}
@@ -75,7 +100,9 @@ _CTRL_OPS = frozenset(
 
 def is_mem_op(op: OpClass) -> bool:
     """Return True if *op* accesses the data cache."""
-    return op in _MEM_OPS
+    # Identity chain, not set membership: enum hashing is a Python-level
+    # call and this predicate runs once per constructed instruction.
+    return op is OpClass.LOAD or op is OpClass.STORE or op is OpClass.PREFETCH
 
 
 def is_ctrl_op(op: OpClass) -> bool:

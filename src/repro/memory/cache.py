@@ -4,11 +4,20 @@ The cache tracks tags, dirty bits and LRU ordering only — data values live
 in the functional layer (:mod:`repro.isa.interp`) or nowhere at all for the
 statistical workloads.  All methods take *line addresses* are derived from
 byte addresses internally, so callers pass plain byte addresses.
+
+Recency is tracked through dict insertion order (Python dicts are ordered):
+each set maps line address -> dirty flag, a recency refresh is a delete and
+re-insert (O(1)), and the replacement victim is the set's first key.  This
+replaces the historical per-way LRU stamps and their ``min()`` scan in the
+victim chooser; because the stamp clock was strictly monotonic, "minimum
+stamp" and "first in insertion/refresh order" pick identical victims, so
+the rewrite is cycle-exact.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from itertools import islice
 from typing import Dict, List, Optional
 
 from repro.memory.config import CacheConfig
@@ -20,16 +29,6 @@ class EvictedLine:
 
     line_addr: int
     dirty: bool
-
-
-class _Way:
-    """One resident line: LRU stamp plus dirty bit."""
-
-    __slots__ = ("stamp", "dirty")
-
-    def __init__(self, stamp: int, dirty: bool) -> None:
-        self.stamp = stamp
-        self.dirty = dirty
 
 
 #: Supported replacement policies.  The paper's machines use true LRU;
@@ -44,6 +43,17 @@ class Cache:
     immediately install the line; the hierarchy installs it (``fill``) when
     the data returns, which is what lets the MSHR squash path cancel a
     speculative install (Section 3.3 of the paper).
+
+    Per-set state is one dict of line address -> dirty bool, ordered
+    oldest-first in replacement order:
+
+    * **lru** — :meth:`probe` hits and :meth:`fill` merges both move the
+      line to the back of its set.
+    * **fifo** — only :meth:`fill` refreshes the order (a merged write miss
+      counts as a re-fill, matching the historical stamp semantics).
+    * **random** — order is pure insertion order (never refreshed) and the
+      victim is drawn from it with a seeded LCG, reproducing the historical
+      ``list(cache_set)[lcg % ways]`` choice without building the list.
     """
 
     def __init__(self, config: CacheConfig, name: str = "cache",
@@ -55,10 +65,12 @@ class Cache:
         self.config = config
         self.name = name
         self.policy = policy
-        self._sets: List[Dict[int, _Way]] = [dict() for _ in range(config.num_sets)]
+        self._sets: List[Dict[int, bool]] = [dict() for _ in range(config.num_sets)]
         self._set_mask = config.num_sets - 1
         self._line_shift = config.line_size.bit_length() - 1
-        self._clock = 0
+        self._assoc = config.assoc
+        self._is_lru = policy == "lru"
+        self._is_random = policy == "random"
         # Cheap deterministic LCG for the random policy (no random import
         # on the hot path).
         self._rand_state = seed or 1
@@ -75,15 +87,16 @@ class Cache:
     def probe(self, addr: int, is_write: bool = False, update_lru: bool = True
               ) -> bool:
         """Return True on a tag hit; updates LRU (and dirty on writes)."""
-        line = self.line_addr(addr)
-        way = self._sets[self._set_index(line)].get(line)
-        if way is None:
+        line = addr >> self._line_shift
+        cache_set = self._sets[line & self._set_mask]
+        dirty = cache_set.get(line)
+        if dirty is None:
             return False
-        if update_lru and self.policy == "lru":
-            self._clock += 1
-            way.stamp = self._clock
-        if is_write:
-            way.dirty = True
+        if update_lru and self._is_lru:
+            del cache_set[line]
+            cache_set[line] = dirty or is_write
+        elif is_write:
+            cache_set[line] = True
         return True
 
     def fill(self, addr: int, dirty: bool = False) -> Optional[EvictedLine]:
@@ -92,35 +105,39 @@ class Cache:
         Filling a line that is already resident refreshes its LRU stamp and
         ORs in the dirty bit (a merged write miss), evicting nothing.
         """
-        line = self.line_addr(addr)
-        cache_set = self._sets[self._set_index(line)]
-        self._clock += 1
+        line = addr >> self._line_shift
+        cache_set = self._sets[line & self._set_mask]
         existing = cache_set.get(line)
         if existing is not None:
-            existing.stamp = self._clock
-            existing.dirty = existing.dirty or dirty
+            if self._is_random:
+                # Random replacement never reorders: victim choice indexes
+                # pure insertion order, exactly as the stamp era did.
+                cache_set[line] = existing or dirty
+            else:
+                del cache_set[line]
+                cache_set[line] = existing or dirty
             return None
         victim: Optional[EvictedLine] = None
-        if len(cache_set) >= self.config.assoc:
+        if len(cache_set) >= self._assoc:
             victim_line = self._choose_victim(cache_set)
-            victim = EvictedLine(victim_line, cache_set[victim_line].dirty)
+            victim = EvictedLine(victim_line, cache_set[victim_line])
             del cache_set[victim_line]
-        cache_set[line] = _Way(self._clock, dirty)
+        cache_set[line] = dirty
         return victim
 
-    def _choose_victim(self, cache_set: Dict[int, _Way]) -> int:
-        if self.policy == "random":
+    def _choose_victim(self, cache_set: Dict[int, bool]) -> int:
+        if self._is_random:
             self._rand_state = (self._rand_state * 1103515245 + 12345) & 0x7FFFFFFF
-            keys = list(cache_set)
-            return keys[self._rand_state % len(keys)]
-        # LRU and FIFO both evict the minimum stamp; they differ in whether
-        # probe() refreshes it (LRU) or only fill() sets it (FIFO).
-        return min(cache_set, key=lambda tag: cache_set[tag].stamp)
+            index = self._rand_state % len(cache_set)
+            return next(islice(cache_set, index, None))
+        # LRU and FIFO both evict the front of the order; they differ in
+        # whether probe() refreshes it (LRU) or only fill() does (FIFO).
+        return next(iter(cache_set))
 
     def invalidate(self, addr: int) -> bool:
         """Remove the line containing *addr*; return True if it was resident."""
-        line = self.line_addr(addr)
-        cache_set = self._sets[self._set_index(line)]
+        line = addr >> self._line_shift
+        cache_set = self._sets[line & self._set_mask]
         if line in cache_set:
             del cache_set[line]
             return True
@@ -128,14 +145,13 @@ class Cache:
 
     def contains(self, addr: int) -> bool:
         """Tag check with no LRU side effect."""
-        line = self.line_addr(addr)
-        return line in self._sets[self._set_index(line)]
+        line = addr >> self._line_shift
+        return line in self._sets[line & self._set_mask]
 
     def is_dirty(self, addr: int) -> bool:
         """True if the line containing *addr* is resident and dirty."""
-        line = self.line_addr(addr)
-        way = self._sets[self._set_index(line)].get(line)
-        return way is not None and way.dirty
+        line = addr >> self._line_shift
+        return bool(self._sets[line & self._set_mask].get(line))
 
     def flush(self) -> None:
         """Empty the cache (used between experiment phases)."""

@@ -16,7 +16,6 @@ and one released (squashed) before its fill suppresses the install entirely.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.memory.cache import Cache
@@ -26,7 +25,6 @@ from repro.memory.mshr import MSHRFile
 from repro.memory.stats import MemStats
 
 
-@dataclass(frozen=True)
 class AccessResult:
     """Timing outcome of one data-cache access.
 
@@ -51,13 +49,28 @@ class AccessResult:
             the handler is actually taken.
     """
 
-    l1_miss: bool
-    level: int
-    start_cycle: int
-    ready_cycle: int
-    mshr_id: Optional[int] = None
-    merged: bool = False
-    needs_inform: bool = False
+    __slots__ = ("l1_miss", "level", "start_cycle", "ready_cycle",
+                 "mshr_id", "merged", "needs_inform")
+
+    def __init__(self, l1_miss: bool, level: int, start_cycle: int,
+                 ready_cycle: int, mshr_id: Optional[int] = None,
+                 merged: bool = False, needs_inform: bool = False) -> None:
+        # A plain __slots__ class, not a dataclass: one AccessResult is
+        # built per data access, and the frozen-dataclass __init__ (seven
+        # object.__setattr__ calls) was measurable on the L1-hit path.
+        self.l1_miss = l1_miss
+        self.level = level
+        self.start_cycle = start_cycle
+        self.ready_cycle = ready_cycle
+        self.mshr_id = mshr_id
+        self.merged = merged
+        self.needs_inform = needs_inform
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"AccessResult(l1_miss={self.l1_miss}, level={self.level}, "
+                f"start_cycle={self.start_cycle}, "
+                f"ready_cycle={self.ready_cycle}, mshr_id={self.mshr_id}, "
+                f"merged={self.merged}, needs_inform={self.needs_inform})")
 
 
 class MemoryHierarchy:
@@ -92,6 +105,8 @@ class MemoryHierarchy:
         self.stream_buffer_hits = 0
         self._line_shift = config.l1.line_size.bit_length() - 1
         self._bank_free: List[int] = [0] * config.data_banks
+        self._num_banks = config.data_banks
+        self._l1_hit_latency = config.l1_hit_latency
         # Pending fills: (ready_cycle, seq, mshr_id, line_addr, dirty, from_mem)
         self._pending: List[Tuple[int, int, int, int, bool, bool]] = []
         self._fill_seq = 0
@@ -161,8 +176,9 @@ class MemoryHierarchy:
                 f"accesses must be submitted in cycle order "
                 f"({cycle} < {self._last_cycle})")
         self._last_cycle = cycle
-        self._apply_fills(cycle)
-        line_addr = self._line_addr(addr)
+        if self._pending:
+            self._apply_fills(cycle)
+        line_addr = addr >> self._line_shift
         stats = self.stats
 
         if prefetch:
@@ -170,12 +186,30 @@ class MemoryHierarchy:
         else:
             stats.l1_accesses += 1
 
-        if self.l1.probe(addr, is_write=is_write):
+        # -- L1-hit fast path ------------------------------------------------
+        # The overwhelmingly common case (the paper's §2 premise): resolve a
+        # primary-cache hit with one dict lookup, an O(1) recency refresh,
+        # and an inline bank claim — no Cache.probe/_claim_bank call frames.
+        l1 = self.l1
+        cache_set = l1._sets[line_addr & l1._set_mask]
+        dirty = cache_set.get(line_addr)
+        if dirty is not None:
+            if l1._is_lru:
+                del cache_set[line_addr]
+                cache_set[line_addr] = dirty or is_write
+            elif is_write:
+                cache_set[line_addr] = True
             if not prefetch:
                 stats.l1_hits += 1
-            start = self._claim_bank(line_addr, cycle, 1)
-            return AccessResult(False, 1, start,
-                                start + self.config.l1_hit_latency)
+            bank_free = self._bank_free
+            bank = line_addr % self._num_banks
+            start = bank_free[bank]
+            if start > cycle:
+                stats.bank_conflict_cycles += start - cycle
+            else:
+                start = cycle
+            bank_free[bank] = start + 1
+            return AccessResult(False, 1, start, start + self._l1_hit_latency)
 
         if self._stream_buffers and not prefetch:
             buffer = self._match_stream_buffer(line_addr)

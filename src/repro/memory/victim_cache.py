@@ -25,19 +25,20 @@ class VictimCache:
             raise ValueError("victim cache needs at least one entry")
         self.entries = entries
         self.line_size = line_size
-        self._lines: Dict[int, int] = {}  # line_addr -> insertion stamp
-        self._clock = 0
+        # Ordered oldest-first: dict insertion order replaces the historical
+        # per-line stamps, making the full-buffer eviction O(1).
+        self._lines: Dict[int, None] = {}
         self.hits = 0
         self.probes = 0
 
     def insert(self, victim: EvictedLine) -> None:
         """Capture a line evicted from the primary cache."""
-        self._clock += 1
-        if (victim.line_addr not in self._lines
-                and len(self._lines) >= self.entries):
-            oldest = min(self._lines, key=self._lines.get)
-            del self._lines[oldest]
-        self._lines[victim.line_addr] = self._clock
+        line = victim.line_addr
+        if line in self._lines:
+            del self._lines[line]  # re-insert moves it to newest
+        elif len(self._lines) >= self.entries:
+            del self._lines[next(iter(self._lines))]
+        self._lines[line] = None
 
     def probe(self, addr: int) -> bool:
         """Check (and consume) a line on a primary-cache miss.

@@ -34,7 +34,7 @@ from repro.branch import TwoBitCounterPredictor
 from repro.core.engine import InformingEngine
 from repro.core.mechanisms import InformingConfig, Mechanism, TrapStyle
 from repro.isa.instructions import DynInst
-from repro.isa.opclass import FU_FOR_OP, OpClass
+from repro.isa.opclass import OpClass
 from repro.isa.registers import REG_ZERO
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.pipeline import CoreConfig, FUPool, GraduationStats, StreamStack
@@ -42,8 +42,9 @@ from repro.pipeline import CoreConfig, FUPool, GraduationStats, StreamStack
 #: Cycles after issue at which a reference's hit/miss outcome is known.
 TAG_CHECK_DELAY = 2
 
+#: Instruction classes counted as informing/optimization overhead rather
+#: than application work (the graduation loops test these by identity).
 _OVERHEAD_OPS = (OpClass.MHAR_SET, OpClass.BLMISS, OpClass.PREFETCH)
-_MEM_OPS = (OpClass.LOAD, OpClass.STORE, OpClass.PREFETCH)
 
 _WAITING = 0
 _ISSUED = 1
@@ -127,6 +128,11 @@ class OutOfOrderCore:
         stack = StreamStack(stream)
         fu = FUPool(config)
         rob: List[_Entry] = []
+        # Unissued rob entries in program order.  The issue scan walks this
+        # instead of the whole rob (most entries are already issued);
+        # entries that issue, squash, or leave the rob are compacted away
+        # lazily during the scan.
+        waiting: List[_Entry] = []
         rename: dict = {}
         shadow_in_use = 0
         fetch_blocked_until = 0
@@ -144,6 +150,34 @@ class OutOfOrderCore:
         is_cc = engine.mechanism is Mechanism.CONDITION_CODE
         informing_needs_shadow = (is_trap and branch_like and
                                   engine.config.active)
+
+        # Hot-loop bindings: the issue scan walks the reorder buffer every
+        # cycle, so attribute lookups and enum hashing are hoisted out.
+        op_load = OpClass.LOAD
+        op_store = OpClass.STORE
+        op_prefetch = OpClass.PREFETCH
+        op_branch = OpClass.BRANCH
+        op_blmiss = OpClass.BLMISS
+        op_mhar_set = OpClass.MHAR_SET
+        entry_cls = _Entry
+        stack_fetch = stack.fetch
+        stack_committed = stack.committed
+        # Same-package private access: resetting availability is one slice
+        # assignment per cycle, not worth a method call.
+        fu_avail = fu._avail
+        fu_counts = fu._counts
+        fu_take = fu.take_code
+        hier_ifetch = hierarchy.ifetch
+        rename_get = rename.get
+        lat_list = config.latencies.as_list()
+        mispredict_penalty = config.mispredict_penalty
+        engine_wants = engine.wants
+        extended_mshrs = hierarchy.mshrs.extended_lifetime
+        issue_memory = self._issue_memory
+        shadow_branches = config.shadow_branches
+        # Graduation slots accumulate in locals and flush in blocks
+        # (see GraduationStats.record_cycles).
+        acc_cycles = acc_busy = acc_cache = acc_other = 0
 
         def squash_after(boundary: _Entry) -> None:
             """Remove everything younger than *boundary* from the machine."""
@@ -214,18 +248,22 @@ class OutOfOrderCore:
                    and rob[0].state == _ISSUED
                    and rob[0].complete_cycle <= cycle):
                 entry = rob.pop(0)
-                if entry.mshr_id is not None and hierarchy.mshrs.extended_lifetime:
+                if extended_mshrs and entry.mshr_id is not None:
                     hierarchy.release_mshr(entry.mshr_id, squashed=False)
-                if rename.get(entry.inst.dest) is entry:
-                    del rename[entry.inst.dest]
-                stack.committed(entry.point)
                 inst = entry.inst
-                if inst.handler_code or inst.op in _OVERHEAD_OPS:
+                if rename_get(inst.dest) is entry:
+                    del rename[inst.dest]
+                stack_committed(entry.point)
+                op = inst.op
+                if (inst.handler_code or op is op_mhar_set
+                        or op is op_blmiss or op is op_prefetch):
                     stats.handler_instructions += 1
                 else:
                     stats.app_instructions += 1
                     app_committed += 1
                     if app_committed == warmup_insts:
+                        # Pre-warm-up slots die with the old stats object.
+                        acc_cycles = acc_busy = acc_cache = acc_other = 0
                         stats = self._reset_stats()
                 graduated += 1
                 if entry.trap_pending:
@@ -249,10 +287,14 @@ class OutOfOrderCore:
                     trap_fired_at_head = True
                     break
             head = rob[0] if rob else None
-            cache_blame = bool(
-                head is not None and head.was_miss
-                and head.state == _ISSUED and head.complete_cycle > cycle)
-            stats.record_cycle(graduated, cache_blame)
+            acc_cycles += 1
+            acc_busy += graduated
+            lost = width - graduated
+            if (head is not None and head.was_miss
+                    and head.state == _ISSUED and head.complete_cycle > cycle):
+                acc_cache += lost
+            else:
+                acc_other += lost
 
             if max_app_insts is not None and app_committed >= max_app_insts:
                 break
@@ -264,16 +306,16 @@ class OutOfOrderCore:
                     and not trap_fired_at_head):
                 fetched = 0
                 while fetched < width and len(rob) < rob_size:
-                    if (shadow_in_use >= config.shadow_branches):
+                    if (shadow_in_use >= shadow_branches):
                         break  # out of shadow state: front end stalls
-                    item = stack.fetch()
+                    item = stack_fetch()
                     if item is None:
                         stream_done = True
                         break
                     inst, point = item
                     line = inst.pc >> 5
                     if line != last_fetch_line:
-                        ready = hierarchy.ifetch(inst.pc, cycle)
+                        ready = hier_ifetch(inst.pc, cycle)
                         last_fetch_line = line
                         if ready > cycle:
                             stack.rewind_to(point)
@@ -281,12 +323,12 @@ class OutOfOrderCore:
                             last_fetch_line = -1
                             break
                     seq += 1
-                    entry = _Entry(inst, point, seq)
+                    entry = entry_cls(inst, point, seq)
                     entry.wrong_path = wrong_path_branch is not None
                     deps = []
                     for src in inst.srcs:
                         if src != REG_ZERO:
-                            producer = rename.get(src)
+                            producer = rename_get(src)
                             if producer is not None:
                                 deps.append(producer)
                     entry.deps = tuple(deps)
@@ -294,13 +336,13 @@ class OutOfOrderCore:
                     if dest is not None and dest != REG_ZERO:
                         rename[dest] = entry
                     op = inst.op
-                    if op is OpClass.BRANCH and entry.wrong_path:
+                    if op is op_branch and entry.wrong_path:
                         # Wrong-path branches consume shadow state but take
                         # no control action — the machine is already off in
                         # the weeds until the real branch resolves.
                         entry.holds_shadow = True
                         shadow_in_use += 1
-                    elif op is OpClass.BRANCH:
+                    elif op is op_branch:
                         entry.holds_shadow = True
                         shadow_in_use += 1
                         predicted = predictor.predict(inst.pc)
@@ -309,6 +351,7 @@ class OutOfOrderCore:
                             predictor.record_mispredict()
                             stats.branch_mispredicts += 1
                             rob.append(entry)
+                            waiting.append(entry)
                             fetched += 1
                             if (self.wrong_path_factory is not None
                                     and not entry.wrong_path):
@@ -321,55 +364,78 @@ class OutOfOrderCore:
                         if inst.taken:
                             # Correct taken prediction: one fetch bubble.
                             rob.append(entry)
+                            waiting.append(entry)
                             fetched += 1
                             fetch_blocked_until = max(fetch_blocked_until,
                                                       cycle + 1)
                             break
-                    elif op is OpClass.BLMISS:
+                    elif op is op_blmiss:
                         entry.holds_shadow = True
                         shadow_in_use += 1
                         entry.cc_ref = last_mem_entry
-                    elif (op in (OpClass.LOAD, OpClass.STORE)
-                          and informing_needs_shadow
-                          and engine.wants(inst)):
+                    elif (informing_needs_shadow
+                          and (op is op_load or op is op_store)
+                          and engine_wants(inst)):
                         entry.holds_shadow = True
                         shadow_in_use += 1
-                    if op in (OpClass.LOAD, OpClass.STORE) and not inst.handler_code:
+                    if ((op is op_load or op is op_store)
+                            and not inst.handler_code):
                         last_mem_entry = entry
                     rob.append(entry)
+                    waiting.append(entry)
                     fetched += 1
 
             # ---- issue -------------------------------------------------------
-            fu.new_cycle()
+            fu_avail[:] = fu_counts
             issued = 0
-            for entry in list(rob):
-                if issued >= width:
-                    break
+            # Scan only the unissued entries, in program order, compacting
+            # the list in place as entries issue (or turn out squashed /
+            # graduated).  The rob itself is mostly issued entries, so this
+            # is much shorter than a full rob walk.  Paths that mutate the
+            # machine wholesale (squash_after / take_trap) break out; the
+            # unscanned tail is spliced back and squashed stragglers are
+            # dropped lazily on the next scan.
+            read = 0
+            write = 0
+            waiting_len = len(waiting)
+            while read < waiting_len:
+                entry = waiting[read]
+                read += 1
                 if entry.state != _WAITING or entry.squashed:
-                    continue
+                    continue  # compact away
                 ready = True
                 for dep in entry.deps:
                     if dep.complete_cycle is None or dep.complete_cycle > cycle:
                         ready = False
                         break
                 if not ready:
+                    waiting[write] = entry
+                    write += 1
                     continue
                 inst = entry.inst
                 op = inst.op
-                if entry.cc_ref is not None:
-                    ref = entry.cc_ref
+                ref = entry.cc_ref
+                if ref is not None:
                     if ref.outcome_cycle is None or ref.outcome_cycle > cycle:
-                        continue  # hit/miss condition code not yet written
-                if not fu.try_take(FU_FOR_OP[op]):
+                        # hit/miss condition code not yet written
+                        waiting[write] = entry
+                        write += 1
+                        continue
+                if not fu_take(op.fu_code):
+                    waiting[write] = entry
+                    write += 1
                     continue
 
-                if op in _MEM_OPS:
-                    if not self._issue_memory(entry, cycle):
-                        continue  # MSHR full: retry next cycle
+                if op is op_load or op is op_store or op is op_prefetch:
+                    if not issue_memory(entry, cycle):
+                        # MSHR full: retry next cycle
+                        waiting[write] = entry
+                        write += 1
+                        continue
                     issued += 1
-                    if (op is not OpClass.PREFETCH and entry.needs_inform
+                    if (entry.needs_inform and op is not op_prefetch
                             and not entry.wrong_path
-                            and is_trap and engine.wants(inst)):
+                            and is_trap and engine_wants(inst)):
                         if branch_like:
                             armed_traps.append(
                                 (entry.outcome_cycle, entry))
@@ -386,12 +452,14 @@ class OutOfOrderCore:
                         # releasing here (the two-cycle window is small).
                         entry.holds_shadow = False
                         shadow_in_use -= 1
+                    if issued >= width:
+                        break
                     continue
 
                 entry.state = _ISSUED
-                entry.complete_cycle = cycle + config.latencies.latency_of(op)
+                entry.complete_cycle = cycle + lat_list[op.op_code]
                 issued += 1
-                if op is OpClass.BRANCH:
+                if op is op_branch:
                     if entry.holds_shadow:
                         entry.holds_shadow = False
                         shadow_in_use -= 1
@@ -400,7 +468,7 @@ class OutOfOrderCore:
                         squash_after(entry)  # nothing younger in this mode
                         fetch_blocked_until = max(
                             fetch_blocked_until,
-                            entry.complete_cycle + config.mispredict_penalty)
+                            entry.complete_cycle + mispredict_penalty)
                         break  # the machine just flushed; stop issuing
                     if wrong_path_branch is entry:
                         wrong_path_branch = None
@@ -408,21 +476,27 @@ class OutOfOrderCore:
                         stack.rewind_after(entry.point)
                         fetch_blocked_until = max(
                             fetch_blocked_until,
-                            entry.complete_cycle + config.mispredict_penalty)
+                            entry.complete_cycle + mispredict_penalty)
                         break  # younger (wrong-path) work was squashed
-                elif op is OpClass.BLMISS:
+                elif op is op_blmiss:
                     if entry.holds_shadow:
                         entry.holds_shadow = False
                         shadow_in_use -= 1
                     ref = entry.cc_ref
                     if (is_cc and ref is not None and ref.needs_inform
                             and not entry.wrong_path
-                            and engine.wants(ref.inst)):
+                            and engine_wants(ref.inst)):
                         take_trap(entry, ref.inst, cycle, ref.mshr_id)
                         break  # the machine state just changed wholesale
+                if issued >= width:
+                    break
+            # Splice the unscanned tail (empty when the scan ran to the end)
+            # over the compacted-away prefix.
+            waiting[write:] = waiting[read:]
 
             cycle += 1
 
+        stats.record_cycles(acc_cycles, acc_busy, acc_cache, acc_other)
         return stats
 
     def _reset_stats(self) -> GraduationStats:
@@ -439,14 +513,16 @@ class OutOfOrderCore:
     # -- memory issue --------------------------------------------------------
     def _issue_memory(self, entry: _Entry, cycle: int) -> bool:
         inst = entry.inst
-        is_prefetch = inst.op is OpClass.PREFETCH
+        op = inst.op
+        is_prefetch = op is OpClass.PREFETCH
+        is_store = op is OpClass.STORE
         # Wrong-path stores must not probe the cache (Section 3.3: store
         # probes are not speculative); complete them as nops.
-        if entry.wrong_path and inst.op is OpClass.STORE:
+        if is_store and entry.wrong_path:
             entry.state = _ISSUED
             entry.complete_cycle = cycle + 1
             return True
-        result = self.hierarchy.access(inst.addr, inst.is_store, cycle,
+        result = self.hierarchy.access(inst.addr, is_store, cycle,
                                        prefetch=is_prefetch)
         if result is None:
             if is_prefetch:
@@ -459,7 +535,7 @@ class OutOfOrderCore:
         entry.needs_inform = result.needs_inform and not is_prefetch
         entry.mshr_id = result.mshr_id
         entry.outcome_cycle = cycle + TAG_CHECK_DELAY
-        if inst.op is OpClass.LOAD:
+        if op is OpClass.LOAD:
             entry.complete_cycle = result.ready_cycle
         else:
             entry.complete_cycle = cycle + 1

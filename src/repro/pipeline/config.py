@@ -28,6 +28,15 @@ class LatencyTable:
         getter = _LATENCY_DISPATCH.get(op)
         return getter(self) if getter is not None else 1
 
+    def as_list(self) -> list:
+        """Latencies indexed by ``OpClass.op_code``.
+
+        The cores index this list on the issue path instead of calling
+        :meth:`latency_of`; enum-keyed dict lookups hash through a
+        Python-level ``Enum.__hash__``.
+        """
+        return [self.latency_of(op) for op in OpClass]
+
 
 _LATENCY_DISPATCH: Dict[OpClass, object] = {
     OpClass.IMUL: lambda t: t.imul,

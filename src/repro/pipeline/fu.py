@@ -4,49 +4,56 @@ Table 1's functional units are fully pipelined (the paper's stated
 simplification), so a unit accepts a new operation every cycle regardless of
 operation latency.  Availability therefore reduces to per-cycle issue
 counters per unit kind.
+
+The counters live in a plain list indexed by the dense FU codes from
+:mod:`repro.isa.opclass` (``op.fu_code``): the issue loops of both cores
+claim units tens of thousands of times per simulated run, and list indexing
+by a small int sidesteps the Python-level ``Enum.__hash__`` a dict keyed by
+:class:`FUKind` would pay on every claim.
 """
 
 from __future__ import annotations
 
-from typing import Dict
-
-from repro.isa.opclass import FUKind
+from repro.isa.opclass import FU_BRANCH, FU_FP, FU_INT, FU_MEMORY, FU_NONE, FUKind
 from repro.pipeline.config import CoreConfig
 
 
 class FUPool:
     """Issue-bandwidth tracker for one cycle at a time."""
 
+    __slots__ = ("_counts", "_avail", "_code_map")
+
     def __init__(self, config: CoreConfig) -> None:
-        self._counts: Dict[FUKind, int] = {
-            FUKind.INT: config.int_units,
-            FUKind.FP: config.fp_units,
-            FUKind.BRANCH: config.branch_units,
-            FUKind.MEMORY: config.mem_units,
-        }
+        # FU_NONE gets a count wider than any issue width so NOPs always
+        # succeed without a special case on the claim path.
+        self._counts = [config.int_units, config.fp_units,
+                        config.branch_units, config.mem_units, 1 << 30]
         # No dedicated memory unit: memory ops flow through the integer
-        # pipes (the Alpha 21164 arrangement).
-        self._mem_on_int = config.mem_units == 0
-        self._avail: Dict[FUKind, int] = dict(self._counts)
+        # pipes (the Alpha 21164 arrangement).  The remap is baked into a
+        # code-translation table so the claim path stays branch-free.
+        mem_on_int = config.mem_units == 0
+        self._code_map = [FU_INT, FU_FP, FU_BRANCH,
+                          FU_INT if mem_on_int else FU_MEMORY, FU_NONE]
+        self._avail = list(self._counts)
 
     def new_cycle(self) -> None:
         """Reset availability at the start of a cycle."""
-        self._avail = dict(self._counts)
+        self._avail[:] = self._counts
+
+    def take_code(self, code: int) -> bool:
+        """Claim a unit by dense FU code (``op.fu_code``); False if none."""
+        avail = self._avail
+        code = self._code_map[code]
+        if avail[code] > 0:
+            avail[code] = avail[code] - 1
+            return True
+        return False
 
     def try_take(self, kind: FUKind) -> bool:
         """Claim a unit of *kind* this cycle; False if none remain."""
-        if kind is FUKind.NONE:
-            return True
-        if kind is FUKind.MEMORY and self._mem_on_int:
-            kind = FUKind.INT
-        if self._avail[kind] > 0:
-            self._avail[kind] -= 1
-            return True
-        return False
+        return self.take_code(kind.fu_code)
 
     def available(self, kind: FUKind) -> int:
         if kind is FUKind.NONE:
             return 1
-        if kind is FUKind.MEMORY and self._mem_on_int:
-            kind = FUKind.INT
-        return self._avail[kind]
+        return self._avail[self._code_map[kind.fu_code]]

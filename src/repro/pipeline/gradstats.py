@@ -44,6 +44,23 @@ class GraduationStats:
         else:
             self.other_stall_slots += lost
 
+    def record_cycles(self, cycles: int, busy_slots: int,
+                      cache_stall_slots: int, other_stall_slots: int) -> None:
+        """Account a block of cycles accumulated by a core's inner loop.
+
+        The cores batch per-cycle slot accounting in local integers (a
+        method call per simulated cycle was measurable) and flush here at
+        stats-reset boundaries and at end of run.  Equivalent to calling
+        :meth:`record_cycle` once per cycle with the same totals.
+        """
+        if busy_slots + cache_stall_slots + other_stall_slots != (
+                cycles * self.width):
+            raise ValueError("slot block does not add up to cycles x width")
+        self.cycles += cycles
+        self.busy_slots += busy_slots
+        self.cache_stall_slots += cache_stall_slots
+        self.other_stall_slots += other_stall_slots
+
     @property
     def total_slots(self) -> int:
         return self.cycles * self.width

@@ -21,9 +21,15 @@ arbitrary rewinds to uncommitted points.
 from __future__ import annotations
 
 from collections import deque
+from itertools import islice
 from typing import Deque, Iterable, Iterator, List, NamedTuple, Optional, Tuple
 
 from repro.isa.instructions import DynInst
+
+#: Instructions pulled from a frame's source per refill.  Batching the
+#: generator drain through ``islice`` replaces one interpreter-level
+#: ``next()`` round-trip per fetched instruction with one per chunk.
+_REFILL_CHUNK = 64
 
 
 class StreamError(RuntimeError):
@@ -49,18 +55,16 @@ class _Frame:
         self.end: Optional[int] = None  # absolute length once exhausted
 
     def fetch(self) -> Optional[DynInst]:
+        buffer = self.buffer
         offset = self.pos - self.base
-        if offset < len(self.buffer):
-            inst = self.buffer[offset]
-        else:
+        if offset >= len(buffer):
             if self.end is not None:
                 return None
-            try:
-                inst = next(self.source)
-            except StopIteration:
+            buffer.extend(islice(self.source, _REFILL_CHUNK))
+            if offset >= len(buffer):
                 self.end = self.pos
                 return None
-            self.buffer.append(inst)
+        inst = buffer[offset]
         self.pos += 1
         return inst
 
@@ -96,14 +100,25 @@ class StreamStack:
 
         Returns None when the application frame itself is exhausted.
         """
+        frames = self._frames
+        tuple_new = tuple.__new__
         while True:
-            top = self._frames[-1]
+            top = frames[-1]
+            # Inlined buffered-hit path of _Frame.fetch: one instruction is
+            # fetched per simulated issue slot, so the extra call frame and
+            # the NamedTuple constructor both showed up in profiles.
+            offset = top.pos - top.base
+            buffer = top.buffer
+            if offset < len(buffer):
+                top.pos += 1
+                return buffer[offset], tuple_new(
+                    FetchPoint, (top.serial, top.pos - 1))
             inst = top.fetch()
             if inst is not None:
-                return inst, FetchPoint(top.serial, top.pos - 1)
-            if len(self._frames) == 1:
+                return inst, tuple_new(FetchPoint, (top.serial, top.pos - 1))
+            if len(frames) == 1:
                 return None
-            self._frames.pop()
+            frames.pop()
 
     # -- handler injection ---------------------------------------------------
     def push_handler(self, instructions: Iterable[DynInst]) -> int:
@@ -138,9 +153,17 @@ class StreamStack:
         its frame can be dropped.  Points in already-popped handler frames
         are ignored — their storage died with the frame.
         """
+        serial = point.frame_serial
         for frame in self._frames:
-            if frame.serial == point.frame_serial:
-                frame.trim_to(point.index + 1)
+            if frame.serial == serial:
+                # Inlined trim_to: one commit per graduated instruction.
+                index = point.index + 1
+                buffer = frame.buffer
+                base = frame.base
+                while base < index and buffer:
+                    buffer.popleft()
+                    base += 1
+                frame.base = base
                 return
 
     @property

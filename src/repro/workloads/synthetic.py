@@ -128,7 +128,6 @@ class SyntheticWorkload:
         pattern = spec.pattern_factory()
         pattern.reset()
         serial_chase = pattern.serial
-        template = self._template
         base_pc = spec.base_pc
         window = spec.dependence_window
         int_next = 0
@@ -138,28 +137,41 @@ class SyntheticWorkload:
         recent_int: List[int] = []
         emitted = 0
 
+        # Hot-loop bindings: this generator produces one object per
+        # simulated instruction, so attribute and global lookups inside the
+        # loop are paid hundreds of thousands of times per experiment.
+        dyninst = DynInst
+        op_load = OpClass.LOAD
+        op_store = OpClass.STORE
+        op_branch = OpClass.BRANCH
+        rng_random = rng.random
+        rng_randrange = rng.randrange
+        next_address = pattern.next_address
+        load_use_fraction = spec.load_use_fraction
+        # Pre-resolve per-slot pcs once; the template never changes.
+        template = [(slot[0], slot[1], base_pc + 4 * index)
+                    for index, slot in enumerate(self._template)]
+
         while emitted < n_instructions:
-            for index, slot in enumerate(template):
+            for kind, payload, pc in template:
                 if emitted >= n_instructions:
                     return
-                kind = slot[0]
-                pc = base_pc + 4 * index
 
                 if kind == _KIND_MEM:
-                    addr = pattern.next_address()
-                    if slot[1]:  # store
+                    addr = next_address()
+                    if payload:  # store
                         src = recent_int[-1] if recent_int else _INT_WINDOW_BASE
-                        yield DynInst(OpClass.STORE, srcs=(src,), addr=addr,
+                        yield dyninst(op_store, srcs=(src,), addr=addr,
                                       pc=pc, informing=informing)
                     elif serial_chase:
-                        yield DynInst(OpClass.LOAD, dest=_CHASE_REG,
+                        yield dyninst(op_load, dest=_CHASE_REG,
                                       srcs=(_CHASE_REG,), addr=addr, pc=pc,
                                       informing=informing)
                         last_load_dest = _CHASE_REG
                     else:
                         dest = _MEM_WINDOW_BASE + mem_next
                         mem_next = (mem_next + 1) % _MEM_WINDOW_SIZE
-                        yield DynInst(OpClass.LOAD, dest=dest, addr=addr,
+                        yield dyninst(op_load, dest=dest, addr=addr,
                                       pc=pc, informing=informing)
                         last_load_dest = dest
                 elif kind == _KIND_INT:
@@ -167,14 +179,14 @@ class SyntheticWorkload:
                     int_next = (int_next + 1) % window
                     srcs: Tuple[int, ...]
                     if (last_load_dest is not None
-                            and rng.random() < spec.load_use_fraction):
+                            and rng_random() < load_use_fraction):
                         srcs = (last_load_dest,)
                         last_load_dest = None
                     elif recent_int:
-                        srcs = (recent_int[rng.randrange(len(recent_int))],)
+                        srcs = (recent_int[rng_randrange(len(recent_int))],)
                     else:
                         srcs = ()
-                    yield DynInst(slot[1], dest=dest, srcs=srcs, pc=pc)
+                    yield dyninst(payload, dest=dest, srcs=srcs, pc=pc)
                     recent_int.append(dest)
                     if len(recent_int) > window:
                         recent_int.pop(0)
@@ -182,12 +194,12 @@ class SyntheticWorkload:
                     dest = _FP_WINDOW_BASE + fp_next
                     prev = _FP_WINDOW_BASE + (fp_next - 1) % _FP_WINDOW_SIZE
                     fp_next = (fp_next + 1) % _FP_WINDOW_SIZE
-                    srcs = (prev,) if rng.random() < 0.5 else ()
-                    yield DynInst(slot[1], dest=dest, srcs=srcs, pc=pc)
+                    srcs = (prev,) if rng_random() < 0.5 else ()
+                    yield dyninst(payload, dest=dest, srcs=srcs, pc=pc)
                 else:  # branch
-                    taken = rng.random() < slot[1]
+                    taken = rng_random() < payload
                     src = recent_int[-1] if recent_int else _INT_WINDOW_BASE
-                    yield DynInst(OpClass.BRANCH, srcs=(src,), taken=taken,
+                    yield dyninst(op_branch, srcs=(src,), taken=taken,
                                   pc=pc)
                 emitted += 1
 

@@ -219,4 +219,26 @@ class TestBench:
         record_run(path, "exp-b", runner)
         data = json.loads(path.read_text())
         assert set(data["experiments"]) == {"exp-a", "exp-b"}
-        assert data["schema"] == 1
+        assert data["schema"] == 2
+
+    def test_record_run_separates_cold_and_warm(self, tmp_path):
+        """A cache-served run must not clobber the cold-run baseline."""
+        from repro.exec import record_run
+
+        path = tmp_path / "BENCH.json"
+        cold_runner = JobRunner(fast_options(), execute=echo_execute)
+        cold_runner.run([make_job()])
+        cold_entry = record_run(path, "exp", cold_runner)
+        assert cold_entry["temperature"] == "cold"
+
+        warm_runner = JobRunner(fast_options(), execute=echo_execute)
+        warm_runner.run([make_job()])
+        warm_runner.stats.cache_hits = 1  # as a cache-served rerun reports
+        warm_entry = record_run(path, "exp", warm_runner)
+        assert warm_entry["temperature"] == "warm"
+
+        data = json.loads(path.read_text())
+        slot = data["experiments"]["exp"]
+        assert set(slot) == {"cold", "warm"}
+        assert slot["cold"]["cache_hits"] == 0
+        assert slot["warm"]["cache_hits"] == 1

@@ -1,0 +1,113 @@
+"""Cycle-exactness regression: the simulators against a golden capture.
+
+``results/golden/figure2_quick.json`` holds the full 130-bar
+``figure2 --quick`` export captured *before* the hot-path optimization
+pass (seed commit lineage).  The simulators are deterministic, so every
+optimization since must reproduce those statistics exactly — integers
+equal, floats bit-for-bit.  Any mismatch means an "optimization" changed
+machine behaviour, which is a correctness bug here no matter how much
+faster it is.
+
+The default run re-simulates a 13-cell subset spanning every label, both
+machines, and a spread of benchmarks (a few seconds).  Set
+``REPRO_GOLDEN_FULL=1`` to re-simulate all 130 golden cells.
+
+Regenerating the golden (ONLY after an intentional behaviour change, e.g.
+a timing-model fix — never to make an optimization pass):
+
+    PYTHONPATH=src python -m repro.harness figure2 --quick --jobs 1 \
+        --no-cache --no-bench --json results/golden/figure2_quick.json
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.harness.export import _BAR_FIELDS
+from repro.harness.runner import bar_config, run_bar
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), os.pardir,
+                           "results", "golden", "figure2_quick.json")
+
+#: figure2 --quick run lengths (DEFAULT_INSTRUCTIONS // 4 and
+#: DEFAULT_WARMUP // 4 at capture time; pinned here so later changes to
+#: the defaults cannot silently shift what this test simulates).
+QUICK_INSTRUCTIONS = 7_500
+QUICK_WARMUP = 3_750
+
+#: Fields compared exactly.  ``normalized`` is excluded: it is computed
+#: against the benchmark's N bar during figure assembly, not by run_bar.
+COMPARED_FIELDS = [f for f in _BAR_FIELDS if f != "normalized"]
+
+#: Default subset: every label at least twice, both machines, and a mix of
+#: low-miss (ora), mid (compress, espresso), and high-miss (swm256,
+#: tomcatv) benchmarks.
+DEFAULT_CELLS = [
+    ("compress", "ooo", "N"),
+    ("compress", "inorder", "N"),
+    ("compress", "ooo", "U10"),
+    ("swm256", "ooo", "N"),
+    ("hydro2d", "inorder", "S10"),
+    ("mdljsp2", "ooo", "U1"),
+    ("ora", "inorder", "N"),
+    ("ora", "ooo", "S1"),
+    ("espresso", "ooo", "S10"),
+    ("espresso", "inorder", "U1"),
+    ("tomcatv", "inorder", "U10"),
+    ("tomcatv", "ooo", "S1"),
+    ("alvinn", "inorder", "S1"),
+]
+
+
+def _load_golden():
+    with open(GOLDEN_PATH) as fh:
+        return json.load(fh)["bars"]
+
+
+def _golden_index():
+    return {(row["benchmark"], row["machine"], row["label"]): row
+            for row in _load_golden()}
+
+
+def _cells():
+    if os.environ.get("REPRO_GOLDEN_FULL") == "1":
+        return [(row["benchmark"], row["machine"], row["label"])
+                for row in _load_golden()]
+    return DEFAULT_CELLS
+
+
+@pytest.mark.parametrize("workload,machine,label", _cells())
+def test_golden_parity(workload, machine, label):
+    golden = _golden_index()[(workload, machine, label)]
+    result = run_bar(workload, machine, bar_config(label),
+                     QUICK_INSTRUCTIONS, QUICK_WARMUP)
+    mismatches = {
+        field: (getattr(result, field), golden[field])
+        for field in COMPARED_FIELDS
+        if getattr(result, field) != golden[field]
+    }
+    assert not mismatches, (
+        f"{workload}/{machine}/{label} diverged from the golden capture "
+        f"(got, want): {mismatches}")
+
+
+def test_golden_capture_shape():
+    """The capture itself: full 130-bar grid, no duplicates, all fields."""
+    rows = _load_golden()
+    assert len(rows) == 130
+    keys = {(r["benchmark"], r["machine"], r["label"]) for r in rows}
+    assert len(keys) == 130
+    labels = {r["label"] for r in rows}
+    assert labels == {"N", "S1", "U1", "S10", "U10"}
+    assert {r["machine"] for r in rows} == {"ooo", "inorder"}
+    for row in rows:
+        for field in _BAR_FIELDS:
+            assert field in row
+
+
+def test_default_subset_exists_in_golden():
+    """Guard the hand-picked subset against golden regeneration drift."""
+    index = _golden_index()
+    for cell in DEFAULT_CELLS:
+        assert cell in index, f"default parity cell {cell} not in golden"

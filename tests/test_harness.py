@@ -100,6 +100,15 @@ class TestBarConfigs:
         with pytest.raises(ValueError):
             bar_config("Z3")
 
+    @pytest.mark.parametrize("label", [
+        "S", "U", "E", "CC",        # missing handler length
+        "Ux", "S1x", "CCx", "CC1x",  # non-decimal handler length
+        "", "n", "NN", "10", "S-1",  # junk
+    ])
+    def test_malformed_labels_raise_descriptive_error(self, label):
+        with pytest.raises(ValueError, match="unknown bar label"):
+            bar_config(label)
+
 
 class TestRunners:
     def test_run_bar_produces_result(self):

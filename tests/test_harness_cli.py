@@ -104,10 +104,11 @@ class TestCLIEngineFlags:
         bench = tmp_path / "BENCH_harness.json"
         assert main(self.F2 + ["--no-cache", "--bench", str(bench)]) == 0
         data = json.loads(bench.read_text())
-        entry = data["experiments"]["figure2"]
+        entry = data["experiments"]["figure2"]["cold"]
         assert entry["jobs"] == 10
         assert entry["workers"] == 1
         assert entry["wall_seconds"] > 0
+        assert entry["temperature"] == "cold"
         capsys.readouterr()
 
     def test_bad_jobs_rejected(self):

@@ -1,0 +1,138 @@
+"""Replacement-policy edge cases for the O(1) ordered-dict Cache.
+
+The rewrite from per-way LRU stamps to dict insertion order (see
+``repro.memory.cache``) is only cycle-exact if the three policies keep
+their distinct refresh rules: LRU reorders on probe *and* fill, FIFO only
+on fill, and random never.  These tests pin those rules at the eviction
+level, where a mistake would silently change every miss pattern.
+"""
+
+import pytest
+
+from repro.memory.cache import Cache, EvictedLine, REPLACEMENT_POLICIES
+from repro.memory.config import CacheConfig
+
+#: One-set geometry so every address contends: 4 lines of 32B, 4-way.
+ONE_SET = CacheConfig(size=128, assoc=4, line_size=32)
+
+A, B, C, D, E, F = (i * 32 for i in range(6))  # distinct lines, same set
+
+
+def fill_abcd(cache):
+    for addr in (A, B, C, D):
+        assert cache.fill(addr) is None  # warming an empty set evicts nothing
+    return cache
+
+
+class TestProbeRefreshDivergence:
+    """The same probe sequence must evict differently under LRU vs FIFO."""
+
+    def test_lru_probe_protects_oldest(self):
+        cache = fill_abcd(Cache(ONE_SET, policy="lru"))
+        cache.probe(A)  # refresh A: order becomes B, C, D, A
+        victim = cache.fill(E)
+        assert victim.line_addr == Cache(ONE_SET).line_addr(B)
+        assert cache.contains(A)
+
+    def test_fifo_probe_does_not_refresh(self):
+        cache = fill_abcd(Cache(ONE_SET, policy="fifo"))
+        cache.probe(A)  # FIFO ignores probes: order stays A, B, C, D
+        victim = cache.fill(E)
+        assert victim.line_addr == Cache(ONE_SET).line_addr(A)
+        assert not cache.contains(A)
+
+    def test_fifo_refill_does_refresh(self):
+        """A merged re-fill is FIFO's one reordering event."""
+        cache = fill_abcd(Cache(ONE_SET, policy="fifo"))
+        assert cache.fill(A) is None  # re-fill: order becomes B, C, D, A
+        victim = cache.fill(E)
+        assert victim.line_addr == Cache(ONE_SET).line_addr(B)
+        assert cache.contains(A)
+
+    def test_write_probe_keeps_dirty_through_lru_refresh(self):
+        cache = fill_abcd(Cache(ONE_SET, policy="lru"))
+        cache.probe(A, is_write=True)
+        cache.probe(A)  # clean re-probe must not launder the dirty bit
+        assert cache.is_dirty(A)
+        cache.probe(B)
+        cache.probe(C)
+        cache.probe(D)
+        victim = cache.fill(E)  # A is now oldest again
+        assert victim == EvictedLine(Cache(ONE_SET).line_addr(A), True)
+
+
+class TestRandomDeterminism:
+    """Seeded random replacement must replay identically, and its victim
+    draw indexes pure insertion order (probes never reorder)."""
+
+    def _evictions(self, seed, rounds=50):
+        cache = Cache(ONE_SET, policy="random", seed=seed)
+        fill_abcd(cache)
+        out = []
+        for i in range(rounds):
+            cache.probe(A)  # must not perturb the victim sequence
+            victim = cache.fill(E + i * 32)
+            out.append(victim.line_addr)
+        return out
+
+    def test_identical_seeds_identical_evictions(self):
+        assert self._evictions(seed=7) == self._evictions(seed=7)
+
+    def test_different_seeds_diverge(self):
+        runs = {tuple(self._evictions(seed=s)) for s in (1, 2, 3, 4)}
+        assert len(runs) > 1
+
+    def test_probes_do_not_perturb_victim_choice(self):
+        quiet = Cache(ONE_SET, policy="random", seed=11)
+        noisy = Cache(ONE_SET, policy="random", seed=11)
+        fill_abcd(quiet)
+        fill_abcd(noisy)
+        for _ in range(10):
+            noisy.probe(B)
+            noisy.probe(C, is_write=True)
+        assert quiet.fill(E).line_addr == noisy.fill(E).line_addr
+
+    def test_zero_seed_still_deterministic(self):
+        # seed 0 falls back to a fixed nonzero LCG state, not wall clock
+        one = Cache(ONE_SET, policy="random", seed=0)
+        two = Cache(ONE_SET, policy="random", seed=0)
+        fill_abcd(one)
+        fill_abcd(two)
+        assert one.fill(E).line_addr == two.fill(E).line_addr
+
+
+class TestInvalidateOrdering:
+    """Invalidation frees a way without disturbing the survivors' order."""
+
+    @pytest.mark.parametrize("policy", ["lru", "fifo"])
+    def test_eviction_order_after_invalidate(self, policy):
+        cache = fill_abcd(Cache(ONE_SET, policy=policy))
+        assert cache.invalidate(B)
+        assert cache.fill(E) is None  # freed way absorbs the fill
+        # Survivors still evict oldest-first: A, then C, then D.
+        assert cache.fill(F).line_addr == Cache(ONE_SET).line_addr(A)
+        next_victim = cache.fill(F + 32)
+        assert next_victim.line_addr == Cache(ONE_SET).line_addr(C)
+
+    def test_invalidate_then_refill_moves_to_newest(self):
+        cache = fill_abcd(Cache(ONE_SET, policy="lru"))
+        cache.invalidate(A)
+        cache.fill(A)  # back in, but now the youngest line
+        victim = cache.fill(E)
+        assert victim.line_addr == Cache(ONE_SET).line_addr(B)
+
+    def test_invalidate_missing_line_is_noop(self):
+        cache = fill_abcd(Cache(ONE_SET, policy="lru"))
+        assert not cache.invalidate(E)
+        assert cache.resident_lines() == 4
+        victim = cache.fill(E)
+        assert victim.line_addr == Cache(ONE_SET).line_addr(A)
+
+
+class TestPolicyRegistry:
+    def test_policies_exported(self):
+        assert REPLACEMENT_POLICIES == ("lru", "fifo", "random")
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown replacement policy"):
+            Cache(ONE_SET, policy="mru")

@@ -1,0 +1,50 @@
+"""Quick cycle-exactness check against the golden figure2 --quick capture.
+
+Usage: PYTHONPATH=src python tools/check_parity.py [N_CELLS]
+
+Re-runs a sample of golden cells through run_bar and diffs every exported
+field.  Exit status 0 on byte-identical results.  Used while developing
+hot-path optimizations; the committed regression test is
+tests/test_golden_parity.py.
+"""
+
+import json
+import sys
+import time
+
+from repro.harness.export import _BAR_FIELDS
+from repro.harness.runner import bar_config, run_bar
+
+GOLDEN = "results/golden/figure2_quick.json"
+QUICK_INSTRUCTIONS = 7500
+QUICK_WARMUP = 3750
+
+
+def main():
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 10
+    rows = json.load(open(GOLDEN))["bars"]
+    sample = rows[:: max(1, len(rows) // n)][:n] if n < len(rows) else rows
+    bad = 0
+    t0 = time.perf_counter()
+    for row in sample:
+        result = run_bar(row["benchmark"], row["machine"],
+                         bar_config(row["label"]),
+                         QUICK_INSTRUCTIONS, QUICK_WARMUP)
+        for field in _BAR_FIELDS:
+            if field == "normalized":
+                continue
+            got = getattr(result, field)
+            if got != row[field]:
+                bad += 1
+                print(f"MISMATCH {row['benchmark']}/{row['machine']}/"
+                      f"{row['label']} {field}: got {got!r} "
+                      f"want {row[field]!r}")
+                break
+    wall = time.perf_counter() - t0
+    print(f"{len(sample)} cells, {bad} mismatches, {wall:.2f}s "
+          f"({wall / len(sample):.3f}s/cell)")
+    return 1 if bad else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
