@@ -11,7 +11,8 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional
 
-from repro.core.mechanisms import InformingConfig, Mechanism
+from repro.core.handlers import SINGLE_HANDLER_BASE_PC
+from repro.core.mechanisms import InformingConfig, Mechanism, return_pc
 from repro.isa.instructions import DynInst
 
 
@@ -33,14 +34,25 @@ class InformingEngine:
         self.invocations = 0
         self.injected_instructions = 0
         self.enabled = True  # cleared models writing 0 into the MHAR
+        # The architectural register pair of Section 2.2.  MHAR == 0 is the
+        # hardware disable convention; an active configuration points it at
+        # the (single-handler) dispatch target.  The MHRR latches the
+        # return PC at each handler entry.
+        self.mhar = SINGLE_HANDLER_BASE_PC if config.active else 0
+        self.mhrr = 0
+        # Optional runtime invariant checker (repro.sanitize).
+        self._san = None
 
     # -- run-time control (what user code would do by writing the MHAR) ----
     def disable(self) -> None:
         """Model ``MHAR <- 0``: misses stop trapping."""
         self.enabled = False
+        self.mhar = 0
 
     def enable(self) -> None:
         self.enabled = True
+        if self.config.active:
+            self.mhar = SINGLE_HANDLER_BASE_PC
 
     # -- core-facing API ----------------------------------------------------
     def wants(self, inst: DynInst) -> bool:
@@ -62,6 +74,7 @@ class InformingEngine:
         if not self.wants(inst):
             return None
         self.invocations += 1
+        self.mhrr = return_pc(inst.pc)
         if self.observer is not None:
             self.observer(inst)
         body = self.config.handler.instructions(inst)

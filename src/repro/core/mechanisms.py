@@ -8,6 +8,19 @@ from typing import Optional
 
 from repro.core.handlers import HandlerSpec
 
+#: Fixed instruction width of the modelled ISA (a MIPS-like RISC).
+INSTRUCTION_BYTES = 4
+
+
+def return_pc(pc: int) -> int:
+    """The MHRR value for an informing reference at *pc*.
+
+    Section 2.2: on a miss trap the MHRR latches the address of the
+    instruction *following* the informing memory operation, so the
+    handler's terminating jump resumes execution after the reference.
+    """
+    return pc + INSTRUCTION_BYTES
+
 
 class Mechanism(enum.Enum):
     """How software observes the hit/miss outcome of a reference."""

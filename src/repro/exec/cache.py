@@ -17,6 +17,7 @@ from __future__ import annotations
 import json
 import os
 import time
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Optional
@@ -41,6 +42,7 @@ class CacheStats:
     misses: int = 0
     stores: int = 0
     invalidations: int = 0  # stale-schema or corrupt entries dropped
+    store_failures: int = 0  # writes skipped (disk full, read-only root...)
 
     @property
     def lookups(self) -> int:
@@ -53,6 +55,7 @@ class CacheStats:
     def as_dict(self) -> Dict[str, Any]:
         return {"hits": self.hits, "misses": self.misses,
                 "stores": self.stores, "invalidations": self.invalidations,
+                "store_failures": self.store_failures,
                 "hit_rate": round(self.hit_rate, 4)}
 
 
@@ -65,6 +68,7 @@ class ResultCache:
 
     def __post_init__(self) -> None:
         self.root = Path(self.root).expanduser()
+        self._store_warned = False
 
     # -- addressing ----------------------------------------------------------
     def path_for(self, key: str) -> Path:
@@ -95,11 +99,17 @@ class ResultCache:
         self.stats.hits += 1
         return blob["result"]
 
-    def put(self, job: SimJob, result: Dict[str, Any]) -> Path:
-        """Store *result* for *job* atomically; returns the blob path."""
+    def put(self, job: SimJob, result: Dict[str, Any]) -> Optional[Path]:
+        """Store *result* for *job* atomically; returns the blob path.
+
+        Storing is best-effort: an OSError anywhere in the write (disk
+        full, read-only root, quota) degrades to a skipped store — the
+        result is already computed, so the run must not die for the sake
+        of a cache entry.  Skips are counted in ``stats.store_failures``
+        and reported once per cache instance; the method returns None.
+        """
         key = job.cache_key()
         path = self.path_for(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
         blob = {
             "schema": SCHEMA_VERSION,
             "key": key,
@@ -108,8 +118,23 @@ class ResultCache:
             "created": time.time(),
         }
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_text(json.dumps(blob, sort_keys=True, indent=1))
-        os.replace(tmp, path)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp.write_text(json.dumps(blob, sort_keys=True, indent=1))
+            os.replace(tmp, path)
+        except OSError as exc:
+            self.stats.store_failures += 1
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            if not self._store_warned:
+                self._store_warned = True
+                warnings.warn(
+                    f"result cache at {self.root} is not writable "
+                    f"({type(exc).__name__}: {exc}); results will not be "
+                    f"cached for this run", RuntimeWarning, stacklevel=2)
+            return None
         self.stats.stores += 1
         return path
 

@@ -11,13 +11,24 @@ Failure policy:
 * a job raising :class:`TransientJobError` is retried up to
   ``retries`` times with exponential backoff (``backoff * 2**attempt``
   seconds), each retry surfaced as a ``retried`` telemetry event;
+* a job whose simulation trips a :class:`repro.sanitize`
+  :class:`InvariantViolation` does **not** abort the grid: the violation
+  becomes a structured per-job failure record (``status:
+  "invariant_violation"`` plus the violation's component / cycle /
+  snapshot) and a ``failed`` telemetry event carrying the same payload,
+  while the remaining jobs keep running;
 * any other exception, or exhausting the retry budget, fails the run
   with :class:`JobFailedError`;
 * in parallel mode a job that does not produce a result within
   ``timeout`` seconds of being waited on fails the run with
   :class:`JobTimeoutError` and cancels the remaining work — the run
   never hangs.  Serial mode cannot preempt a running simulation, so
-  there the timeout is checked after the job returns.
+  there the timeout is checked after the job returns;
+* a worker killed by the OS (OOM killer, SIGKILL) breaks the whole
+  ``ProcessPoolExecutor`` and poisons every in-flight future — the
+  runner emits one ``pool_broken`` event and re-runs the unfinished
+  jobs on the serial path, carrying over each job's attempt count so
+  the retry budget still bounds the total work.
 """
 
 from __future__ import annotations
@@ -25,6 +36,7 @@ from __future__ import annotations
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
@@ -34,6 +46,7 @@ from repro.exec.telemetry import (
     CACHE_HIT,
     FAILED,
     FINISHED,
+    POOL_BROKEN,
     QUEUED,
     RETRIED,
     STARTED,
@@ -44,6 +57,7 @@ from repro.exec.telemetry import (
     ProgressPrinter,
     RunTelemetry,
 )
+from repro.sanitize.violation import InvariantViolation
 
 
 class TransientJobError(RuntimeError):
@@ -165,15 +179,23 @@ class JobRunner:
                 trace.close()
 
     # -- serial path ---------------------------------------------------------
-    def _run_serial(self, jobs, keys, pending, results, sink) -> None:
+    def _run_serial(self, jobs, keys, pending, results, sink,
+                    attempts: Optional[Dict[int, int]] = None) -> None:
+        """Run *pending* inline.  *attempts* carries prior attempt counts
+        (the pool-broken fallback path), so the retry budget bounds the
+        total attempts a job gets across both execution modes."""
         cache_state = "miss" if self.cache else "off"
         for index in pending:
             job, key = jobs[index], keys[index]
-            attempt = 0
+            attempt = attempts.get(index, 0) if attempts else 0
+            violation = None
             while True:
                 self._emit(sink, STARTED, job, key, attempt=attempt)
                 try:
                     result, wall = _timed_call(self.execute, job)
+                    break
+                except InvariantViolation as exc:
+                    violation = exc
                     break
                 except TransientJobError as exc:
                     attempt += 1
@@ -182,6 +204,10 @@ class JobRunner:
                     self._retry(sink, job, key, attempt, exc)
                 except Exception as exc:
                     self._fail(sink, job, key, attempt + 1, exc)
+            if violation is not None:
+                results[index] = self._violation_result(
+                    sink, job, key, attempt, violation)
+                continue
             timeout = self.options.timeout
             if timeout is not None and wall > timeout:
                 self._emit(sink, FAILED, job, key, attempt=attempt,
@@ -222,46 +248,87 @@ class JobRunner:
                 futures[index] = pool.submit(_timed_call, self.execute,
                                              jobs[index])
             # Collect in submission order; retries resubmit in place.
-            for index in pending:
-                job, key = jobs[index], keys[index]
-                while True:
-                    try:
-                        result, wall = futures[index].result(timeout=timeout)
-                        break
-                    except FutureTimeoutError:
-                        aborted = True
-                        self._emit(sink, FAILED, job, key,
-                                   attempt=attempts[index], error="timeout")
-                        self._abort_pool(pool)
-                        raise JobTimeoutError(
-                            f"job {job.label} produced no result within the "
-                            f"{timeout:.2f}s per-job timeout; run aborted "
-                            f"({sum(r is None for r in results)} jobs "
-                            f"unfinished)") from None
-                    except TransientJobError as exc:
-                        attempts[index] += 1
-                        if attempts[index] > self.options.retries:
+            try:
+                for index in pending:
+                    job, key = jobs[index], keys[index]
+                    violation = None
+                    while True:
+                        try:
+                            result, wall = futures[index].result(
+                                timeout=timeout)
+                            break
+                        except FutureTimeoutError:
+                            aborted = True
+                            self._emit(sink, FAILED, job, key,
+                                       attempt=attempts[index],
+                                       error="timeout")
+                            self._abort_pool(pool)
+                            raise JobTimeoutError(
+                                f"job {job.label} produced no result within "
+                                f"the {timeout:.2f}s per-job timeout; run "
+                                f"aborted "
+                                f"({sum(r is None for r in results)} jobs "
+                                f"unfinished)") from None
+                        except BrokenProcessPool:
+                            raise  # handled below: fall back to serial
+                        except InvariantViolation as exc:
+                            violation = exc
+                            break
+                        except TransientJobError as exc:
+                            attempts[index] += 1
+                            if attempts[index] > self.options.retries:
+                                aborted = True
+                                self._abort_pool(pool)
+                                self._fail(sink, job, key, attempts[index],
+                                           exc)
+                            self._retry(sink, job, key, attempts[index], exc)
+                            self._emit(sink, STARTED, job, key,
+                                       attempt=attempts[index])
+                            futures[index] = pool.submit(_timed_call,
+                                                         self.execute, job)
+                        except Exception as exc:
                             aborted = True
                             self._abort_pool(pool)
-                            self._fail(sink, job, key, attempts[index], exc)
-                        self._retry(sink, job, key, attempts[index], exc)
-                        self._emit(sink, STARTED, job, key,
-                                   attempt=attempts[index])
-                        futures[index] = pool.submit(_timed_call,
-                                                     self.execute, job)
-                    except Exception as exc:
-                        aborted = True
-                        self._abort_pool(pool)
-                        self._fail(sink, job, key, attempts[index] + 1, exc)
-                self._store(job, result)
-                results[index] = result
-                self._emit(sink, FINISHED, job, key, attempt=attempts[index],
-                           wall=wall, cache=cache_state)
+                            self._fail(sink, job, key, attempts[index] + 1,
+                                       exc)
+                    if violation is not None:
+                        results[index] = self._violation_result(
+                            sink, job, key, attempts[index], violation)
+                        continue
+                    self._store(job, result)
+                    results[index] = result
+                    self._emit(sink, FINISHED, job, key,
+                               attempt=attempts[index], wall=wall,
+                               cache=cache_state)
+            except BrokenProcessPool as exc:
+                # A worker died hard (OOM kill, crashed interpreter): the
+                # pool and every in-flight future are poisoned.  Tear the
+                # pool down and finish the remaining jobs serially — the
+                # results already collected stand, and attempt counts carry
+                # over so the retry budget still bounds total work.
+                aborted = True
+                self._emit(sink, POOL_BROKEN, job, key,
+                           attempt=attempts.get(index, 0),
+                           error=f"{type(exc).__name__}: {exc}")
+                self._abort_pool(pool)
+                unfinished = [i for i in pending if results[i] is None]
+                self._run_serial(jobs, keys, unfinished, results, sink,
+                                 attempts=attempts)
         finally:
             if not aborted:
                 pool.shutdown(wait=True, cancel_futures=True)
 
     # -- shared helpers ------------------------------------------------------
+    def _violation_result(self, sink, job, key, attempt,
+                          exc: InvariantViolation) -> Dict[str, Any]:
+        """Convert an in-simulation invariant violation into a structured
+        per-job failure record; the rest of the grid keeps running."""
+        self._emit(sink, FAILED, job, key, attempt=attempt,
+                   error=f"{type(exc).__name__}: {exc}",
+                   violation=exc.to_dict())
+        return {"status": "invariant_violation", "job": job.to_dict(),
+                "violation": exc.to_dict()}
+
     def _store(self, job: SimJob, result: Dict[str, Any]) -> None:
         if self.cache is not None:
             self.cache.put(job, result)

@@ -28,6 +28,9 @@ CACHE_HIT = "cache_hit"
 RETRIED = "retried"
 FINISHED = "finished"
 FAILED = "failed"
+#: The worker pool died under a job (OOM kill, crashed interpreter);
+#: unfinished jobs fall back to the serial path.
+POOL_BROKEN = "pool_broken"
 
 
 @dataclass
@@ -42,6 +45,9 @@ class JobEvent:
     wall: Optional[float] = None       # seconds, finished/failed only
     cache: Optional[str] = None        # "hit" | "miss" | "off"
     error: Optional[str] = None        # retried/failed only
+    #: Structured InvariantViolation payload (failed jobs whose simulation
+    #: tripped a repro.sanitize check), as InvariantViolation.to_dict().
+    violation: Optional[Dict[str, Any]] = None
 
     def to_json(self) -> str:
         data = {k: v for k, v in asdict(self).items() if v is not None}
@@ -128,6 +134,8 @@ class RunTelemetry:
     cache_hits: int = 0
     cache_misses: int = 0
     executed: int = 0            # jobs that actually simulated
+    pool_breaks: int = 0         # worker pools lost to dead workers
+    violations: int = 0          # failures carrying an InvariantViolation
     job_walls: List[float] = field(default_factory=list)
     started_at: float = field(default_factory=time.time)
     wall: float = 0.0
@@ -149,6 +157,10 @@ class RunTelemetry:
                 self.job_walls.append(event.wall)
         elif event.event == FAILED:
             self.failed += 1
+            if event.violation is not None:
+                self.violations += 1
+        elif event.event == POOL_BROKEN:
+            self.pool_breaks += 1
 
     @property
     def cache_hit_rate(self) -> float:
@@ -166,6 +178,8 @@ class RunTelemetry:
             "cache_misses": self.cache_misses,
             "cache_hit_rate": round(self.cache_hit_rate, 4),
             "executed": self.executed,
+            "pool_breaks": self.pool_breaks,
+            "violations": self.violations,
             "wall_seconds": round(self.wall, 4),
             "mean_job_seconds": (round(sum(walls) / len(walls), 4)
                                  if walls else 0.0),

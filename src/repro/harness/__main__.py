@@ -31,11 +31,19 @@ per-job telemetry events as JSONL; ``--seed N`` offsets the workload
 generator seeds; ``--timeout S`` bounds each job's runtime.  Engine-backed
 experiments also refresh their entry in ``BENCH_harness.json``
 (``--bench PATH`` to redirect, ``--no-bench`` to skip).
+
+``--sanitize`` turns on the runtime invariant sanitizer
+(:mod:`repro.sanitize`): every simulated cell runs with live checks of
+the cache tag stores, MSHR lifetimes and informing-trap semantics, and a
+violation fails that cell with a structured record instead of silently
+wrong bars.  Results are bit-exact with and without it.  The flag works
+by setting ``REPRO_SANITIZE=1``, which forked pool workers inherit.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.harness import configs
@@ -157,6 +165,10 @@ def main(argv=None) -> int:
                                    "post-hoc)")
     engine_group.add_argument("--progress", action="store_true",
                               help="live progress meter on stderr")
+    engine_group.add_argument("--sanitize", action="store_true",
+                              help="run with the runtime invariant "
+                                   "sanitizer (repro.sanitize) attached "
+                                   "to every simulated cell")
     engine_group.add_argument("--bench", default=None, metavar="PATH",
                               help="timing-baseline file to update "
                                    "(default BENCH_harness.json)")
@@ -166,6 +178,10 @@ def main(argv=None) -> int:
     sizes = _sizes(args.quick)
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
+    if args.sanitize:
+        # Through the environment rather than plumbed per-job: forked
+        # pool workers inherit it, so --jobs N sanitizes every worker.
+        os.environ["REPRO_SANITIZE"] = "1"
 
     # Seed only affects the SPEC92 workload generators.
     if args.seed and args.experiment in ("table1", "table2", "figure4",

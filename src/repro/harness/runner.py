@@ -116,15 +116,24 @@ def run_bar(
     instructions: int = DEFAULT_INSTRUCTIONS,
     warmup: int = DEFAULT_WARMUP,
     seed: int = 0,
+    sanitize: Optional[bool] = None,
 ) -> BarResult:
     """Run one benchmark/machine/bar combination from scratch.
 
     ``seed`` is a workload seed offset (see
     :func:`repro.workloads.spec92.spec92_workload`); 0 keeps the default
-    seed path untouched.
+    seed path untouched.  ``sanitize`` attaches a
+    :class:`repro.sanitize.Sanitizer` (runtime invariant checking) to the
+    core; None defers to the ``REPRO_SANITIZE`` environment variable —
+    which is how the ``--sanitize`` CLI flag reaches pool workers.
     """
+    from repro.sanitize import maybe_sanitizer
+
     spec = MACHINES[machine_key]
     core = build_core(spec, informing=bar.informing)
+    san = maybe_sanitizer(sanitize)
+    if san is not None:
+        san.attach(core)
     workload = spec92_workload(benchmark, seed_offset=seed)
     # Generous stream bound: instrumentation and replay never exhaust it.
     stream = workload.stream(8 * (instructions + warmup) + 100_000)

@@ -143,6 +143,9 @@ class InOrderCore:
         mispredict_penalty = config.mispredict_penalty
         engine_wants = engine.wants
         extended_mshrs = hierarchy.mshrs.extended_lifetime
+        # Runtime invariant checker (repro.sanitize); None in normal runs,
+        # so every hook below costs a single identity test.
+        san = hierarchy._san
         # Graduation slots accumulate in locals and flush in blocks
         # (see GraduationStats.record_cycles).
         acc_cycles = acc_busy = acc_cache = acc_other = 0
@@ -154,6 +157,8 @@ class InOrderCore:
                 pending_trap = None
                 body = engine.on_miss(missed_ref)
                 if body is not None:
+                    if san is not None:
+                        san.on_trap(engine, missed_ref, cycle)
                     if trap_mshr is not None:
                         hierarchy.mark_informed(trap_mshr)
                     while inflight and inflight[-1].seq > trap_entry.seq:
@@ -175,6 +180,11 @@ class InOrderCore:
             while (inflight and committed < width
                    and inflight[0].complete_cycle <= cycle):
                 entry = inflight.popleft()
+                if san is not None:
+                    san.on_commit(
+                        entry.seq, entry.complete_cycle, cycle,
+                        pending_trap[1].seq if pending_trap is not None
+                        else None)
                 if extended_mshrs and entry.mshr_id is not None:
                     hierarchy.release_mshr(entry.mshr_id, False)
                 stack_committed(entry.point)
@@ -279,6 +289,8 @@ class InOrderCore:
                     if not is_prefetch and not inst.handler_code:
                         cc_outcome_cycle = cycle + TAG_CHECK_DELAY
                         if result.needs_inform:
+                            if san is not None:
+                                san.on_inform_signal(result)
                             cc_missed_ref = inst
                             cc_missed_mshr = result.mshr_id
                         else:
@@ -334,6 +346,8 @@ class InOrderCore:
             cycle += 1
 
         stats.record_cycles(acc_cycles, acc_busy, acc_cache, acc_other)
+        if san is not None:
+            san.on_run_end(hierarchy)
         return stats
 
     def _reset_stats(self) -> GraduationStats:

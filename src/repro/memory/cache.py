@@ -74,6 +74,9 @@ class Cache:
         # Cheap deterministic LCG for the random policy (no random import
         # on the hot path).
         self._rand_state = seed or 1
+        # Optional runtime invariant checker (repro.sanitize); None keeps
+        # the hook cost to one identity test per fill/invalidate.
+        self._san = None
 
     # -- address helpers ---------------------------------------------------
     def line_addr(self, addr: int) -> int:
@@ -123,6 +126,8 @@ class Cache:
             victim = EvictedLine(victim_line, cache_set[victim_line])
             del cache_set[victim_line]
         cache_set[line] = dirty
+        if self._san is not None:
+            self._san.on_fill(self, line & self._set_mask)
         return victim
 
     def _choose_victim(self, cache_set: Dict[int, bool]) -> int:
@@ -140,6 +145,8 @@ class Cache:
         cache_set = self._sets[line & self._set_mask]
         if line in cache_set:
             del cache_set[line]
+            if self._san is not None:
+                self._san.on_invalidate(self, line & self._set_mask)
             return True
         return False
 

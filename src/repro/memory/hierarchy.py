@@ -113,6 +113,9 @@ class MemoryHierarchy:
         self._last_cycle = 0
         self.i_accesses = 0
         self.i_misses = 0
+        # Optional runtime invariant checker (repro.sanitize); attached via
+        # Sanitizer.attach_hierarchy, None keeps hooks to one identity test.
+        self._san = None
 
     # -- internal helpers ----------------------------------------------------
     def _line_addr(self, addr: int) -> int:
@@ -178,6 +181,8 @@ class MemoryHierarchy:
         self._last_cycle = cycle
         if self._pending:
             self._apply_fills(cycle)
+        if self._san is not None:
+            self._san.on_access(self, cycle)
         line_addr = addr >> self._line_shift
         stats = self.stats
 
@@ -320,10 +325,14 @@ class MemoryHierarchy:
 
     def release_mshr(self, mshr_id: int, squashed: bool) -> None:
         """Extended-lifetime release (graduate or squash) of a pinned MSHR."""
+        san = self._san
+        entry = self.mshrs.get(mshr_id) if san is not None else None
         line_addr = self.mshrs.release(mshr_id, squashed)
         if line_addr is not None:
             if self.l1.invalidate(self._line_to_byte(line_addr)):
                 self.stats.squash_invalidations += 1
+        if san is not None and entry is not None:
+            san.on_mshr_release(self, entry, squashed)
 
     def ifetch(self, pc: int, cycle: int) -> int:
         """Instruction fetch; returns the cycle the fetch block is available.

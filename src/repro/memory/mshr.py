@@ -60,6 +60,9 @@ class MSHRFile:
         self._next_id = 0
         self.high_water = 0
         self.allocation_failures = 0
+        # Optional runtime invariant checker (repro.sanitize); None keeps
+        # the hook cost to one identity test per lifetime transition.
+        self._san = None
 
     # -- queries -----------------------------------------------------------
     def lookup(self, line_addr: int) -> Optional[MSHR]:
@@ -95,6 +98,8 @@ class MSHRFile:
         self._entries[entry.mshr_id] = entry
         self._by_line[line_addr] = entry
         self.high_water = max(self.high_water, len(self._entries))
+        if self._san is not None:
+            self._san.on_mshr_event(self)
         return entry
 
     def merge(self, line_addr: int, is_write: bool) -> MSHR:
@@ -121,6 +126,8 @@ class MSHRFile:
             del self._by_line[entry.line_addr]
         if not entry.pinned:
             del self._entries[entry.mshr_id]
+        if self._san is not None:
+            self._san.on_mshr_event(self)
 
     def release(self, mshr_id: int, squashed: bool) -> Optional[int]:
         """Extended-lifetime release at graduate (squashed=False) or squash.
@@ -141,6 +148,8 @@ class MSHRFile:
         del self._entries[entry.mshr_id]
         if self._by_line.get(entry.line_addr) is entry:
             del self._by_line[entry.line_addr]
+        if self._san is not None:
+            self._san.on_mshr_event(self)
         return invalidate
 
     def mark_informed(self, mshr_id: int) -> None:

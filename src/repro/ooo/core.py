@@ -174,6 +174,9 @@ class OutOfOrderCore:
         engine_wants = engine.wants
         extended_mshrs = hierarchy.mshrs.extended_lifetime
         issue_memory = self._issue_memory
+        # Runtime invariant checker (repro.sanitize); None in normal runs,
+        # so every hook below costs a single identity test.
+        san = hierarchy._san
         shadow_branches = config.shadow_branches
         # Graduation slots accumulate in locals and flush in blocks
         # (see GraduationStats.record_cycles).
@@ -218,6 +221,8 @@ class OutOfOrderCore:
             body = engine.on_miss(missed_ref)
             if body is None:
                 return
+            if san is not None:
+                san.on_trap(engine, missed_ref, fire_cycle)
             if mshr_id is not None:
                 hierarchy.mark_informed(mshr_id)
             squash_after(boundary)
@@ -248,6 +253,8 @@ class OutOfOrderCore:
                    and rob[0].state == _ISSUED
                    and rob[0].complete_cycle <= cycle):
                 entry = rob.pop(0)
+                if san is not None:
+                    san.on_graduate(entry, cycle, armed_traps)
                 if extended_mshrs and entry.mshr_id is not None:
                     hierarchy.release_mshr(entry.mshr_id, squashed=False)
                 inst = entry.inst
@@ -275,6 +282,8 @@ class OutOfOrderCore:
                         # Nothing younger to squash; still invoke handler.
                         body = engine.on_miss(inst)
                         if body is not None:
+                            if san is not None:
+                                san.on_trap(engine, inst, cycle)
                             if entry.mshr_id is not None:
                                 hierarchy.mark_informed(entry.mshr_id)
                             stack.rewind_after(entry.point)
@@ -497,6 +506,8 @@ class OutOfOrderCore:
             cycle += 1
 
         stats.record_cycles(acc_cycles, acc_busy, acc_cache, acc_other)
+        if san is not None:
+            san.on_run_end(hierarchy)
         return stats
 
     def _reset_stats(self) -> GraduationStats:
@@ -533,6 +544,10 @@ class OutOfOrderCore:
         entry.state = _ISSUED
         entry.was_miss = result.l1_miss and not is_prefetch
         entry.needs_inform = result.needs_inform and not is_prefetch
+        if entry.needs_inform and not inst.handler_code:
+            san = self.hierarchy._san
+            if san is not None:
+                san.on_inform_signal(result)
         entry.mshr_id = result.mshr_id
         entry.outcome_cycle = cycle + TAG_CHECK_DELAY
         if op is OpClass.LOAD:

@@ -1,0 +1,57 @@
+"""Structured invariant-violation errors.
+
+An :class:`InvariantViolation` is what every sanitizer check raises: it
+names the violated invariant (a key of
+:data:`repro.sanitize.invariants.INVARIANTS`), the component the state
+lives in, the simulation cycle the check ran at, and a small JSON-able
+snapshot of the offending state.  The exception round-trips through
+pickle unchanged so a violation raised inside a pool worker arrives in
+the parent with its structure intact (see
+:meth:`repro.exec.engine.JobRunner` for how the scheduler converts it
+into a per-job failure record instead of a raw stack trace).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+
+class InvariantViolation(RuntimeError):
+    """A runtime invariant check failed.
+
+    Attributes:
+        invariant: catalog name of the violated invariant
+            (e.g. ``"mshr.no_leaked_entries"``).
+        component: which simulator component held the bad state
+            (cache name, ``"MSHR"``, core name, ...).
+        cycle: the simulation cycle the check observed the corruption at
+            (best effort; -1 when no cycle context was available).
+        snapshot: small JSON-able dict of the offending state.
+    """
+
+    def __init__(self, invariant: str, component: str, cycle: int,
+                 message: str, snapshot: Optional[Dict[str, Any]] = None
+                 ) -> None:
+        self.invariant = invariant
+        self.component = component
+        self.cycle = cycle
+        self.message = message
+        self.snapshot = snapshot or {}
+        super().__init__(
+            f"[{invariant}] {component} @ cycle {cycle}: {message}")
+
+    def __reduce__(self):
+        # Explicit reduce: the default would replay RuntimeError.__init__
+        # with the formatted string and lose the structured fields.
+        return (type(self), (self.invariant, self.component, self.cycle,
+                             self.message, self.snapshot))
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-able form for telemetry events and failure records."""
+        return {
+            "invariant": self.invariant,
+            "component": self.component,
+            "cycle": self.cycle,
+            "message": self.message,
+            "snapshot": self.snapshot,
+        }

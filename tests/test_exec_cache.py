@@ -71,6 +71,61 @@ class TestStore:
         assert ResultCache().root == tmp_path / "alt"
 
 
+class TestUnwritableRoot:
+    """Storing is best-effort: a broken cache root degrades to skipped
+    stores, never to a dead run."""
+
+    @pytest.fixture
+    def broken_store(self, tmp_path):
+        # A regular file as the cache root: mkdir under it raises an
+        # OSError subclass even for root (chmod-based tricks don't).
+        root = tmp_path / "not-a-dir"
+        root.write_text("occupied")
+        return ResultCache(root)
+
+    def test_put_degrades_to_skipped_store(self, broken_store):
+        with pytest.warns(RuntimeWarning, match="not writable"):
+            assert broken_store.put(job(), {"cycles": 1}) is None
+        assert broken_store.stats.store_failures == 1
+        assert broken_store.stats.stores == 0
+
+    def test_warns_once_per_instance(self, broken_store):
+        with pytest.warns(RuntimeWarning):
+            broken_store.put(job(), {"cycles": 1})
+        import warnings as warnings_module
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error")
+            broken_store.put(job(seed=1), {"cycles": 2})  # silent now
+        assert broken_store.stats.store_failures == 2
+
+    def test_replace_failure_also_degrades(self, store, monkeypatch):
+        import os
+
+        def broken_replace(src, dst):
+            raise OSError(28, "No space left on device")
+
+        monkeypatch.setattr(os, "replace", broken_replace)
+        with pytest.warns(RuntimeWarning, match="No space left"):
+            assert store.put(job(), {"cycles": 1}) is None
+        assert store.stats.store_failures == 1
+        # The temp file is cleaned up, not left to read as garbage.
+        assert store.entry_count() == 0
+        assert not list(store.root.rglob("*.tmp.*"))
+
+    def test_grid_completes_despite_store_failures(self, tmp_path):
+        root = tmp_path / "not-a-dir"
+        root.write_text("occupied")
+        runner = JobRunner(ExecOptions(jobs=1, cache=True,
+                                       cache_dir=str(root)))
+        with pytest.warns(RuntimeWarning):
+            results = runner.run([job(), job(label="S10")])
+        assert len(results) == 2
+        assert all(r is not None for r in results)
+        assert runner.cache.stats.store_failures == 2
+        assert runner.stats.finished == 2
+        assert runner.cache.stats.as_dict()["store_failures"] == 2
+
+
 class TestCacheThroughEngine:
     def test_hit_equals_fresh_run(self, tmp_path):
         """A cached result is exactly what a fresh simulation produces."""
