@@ -23,6 +23,11 @@ QUICK = os.environ.get("REPRO_BENCH_QUICK") == "1"
 INSTRUCTIONS = 5_000 if QUICK else 20_000
 WARMUP = 2_500 if QUICK else 10_000
 
+#: Workload seed offset, shared with the harness CLI's ``--seed`` default
+#: (0) so benchmark runs replay the exact golden-reference streams.  Set
+#: ``REPRO_BENCH_SEED=N`` to re-check claims on a different seed path.
+SEED = int(os.environ.get("REPRO_BENCH_SEED", "0"))
+
 #: Worker processes / caching for engine-backed experiment fixtures.
 JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
 CACHE = os.environ.get("REPRO_BENCH_CACHE") == "1"

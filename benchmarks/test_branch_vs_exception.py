@@ -8,19 +8,20 @@ handling informing traps as mispredicted branches does buy us something".
 
 import pytest
 
-from conftest import INSTRUCTIONS, WARMUP
+from conftest import INSTRUCTIONS, SEED, WARMUP
 from repro.harness.runner import run_figure
 
 
 @pytest.fixture(scope="module")
 def bve_result():
     return run_figure("bve", ["compress"], ["ooo"],
-                      ["N", "S1", "E1", "S10", "E10"], INSTRUCTIONS, WARMUP)
+                      ["N", "S1", "E1", "S10", "E10"], INSTRUCTIONS, WARMUP,
+                      seed=SEED)
 
 
 def test_branch_vs_exception_runs(run_once):
     result = run_once(run_figure, "bve", ["compress"], ["ooo"],
-                      ["N", "S1", "E1"], INSTRUCTIONS, WARMUP)
+                      ["N", "S1", "E1"], INSTRUCTIONS, WARMUP, seed=SEED)
     assert len(result.bars) == 3
 
 

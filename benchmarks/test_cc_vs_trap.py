@@ -8,19 +8,19 @@ reference and redirect on a miss.
 
 import pytest
 
-from conftest import INSTRUCTIONS, WARMUP
+from conftest import INSTRUCTIONS, SEED, WARMUP
 from repro.harness.runner import run_figure
 
 
 @pytest.fixture(scope="module")
 def cc_result():
     return run_figure("cc", ["compress", "alvinn"], ["ooo", "inorder"],
-                      ["N", "CC1", "U1"], INSTRUCTIONS, WARMUP)
+                      ["N", "CC1", "U1"], INSTRUCTIONS, WARMUP, seed=SEED)
 
 
 def test_cc_vs_trap_runs(run_once):
     result = run_once(run_figure, "cc", ["compress"], ["ooo"],
-                      ["N", "CC1", "U1"], INSTRUCTIONS, WARMUP)
+                      ["N", "CC1", "U1"], INSTRUCTIONS, WARMUP, seed=SEED)
     assert len(result.bars) == 3
 
 

@@ -14,7 +14,7 @@ and asserts its qualitative claims:
 
 import pytest
 
-from conftest import INSTRUCTIONS, WARMUP, make_engine
+from conftest import INSTRUCTIONS, SEED, WARMUP, make_engine
 from repro.harness.runner import run_figure
 from repro.workloads import FIGURE2_BENCHMARKS, FP_BENCHMARKS
 
@@ -26,7 +26,7 @@ FP_IN_FIGURE = [b for b in FP_BENCHMARKS if b != "su2cor"]
 def figure2_result():
     return run_figure("figure2", FIGURE2_BENCHMARKS, ["ooo", "inorder"],
                       ["N", "S1", "U1", "S10", "U10"], INSTRUCTIONS, WARMUP,
-                      engine=make_engine())
+                      seed=SEED, engine=make_engine())
 
 
 def test_figure2_runs(run_once):

@@ -9,14 +9,15 @@ single handler because independent handler invocations expose parallelism.
 
 import pytest
 
-from conftest import INSTRUCTIONS, WARMUP
+from conftest import INSTRUCTIONS, SEED, WARMUP
 from repro.harness.runner import run_figure
 
 
 @pytest.fixture(scope="module")
 def figure3_result():
     return run_figure("figure3", ["su2cor"], ["ooo", "inorder"],
-                      ["N", "S1", "U1", "S10", "U10"], INSTRUCTIONS, WARMUP)
+                      ["N", "S1", "U1", "S10", "U10"], INSTRUCTIONS, WARMUP,
+                      seed=SEED)
 
 
 def test_figure3_runs(run_once):

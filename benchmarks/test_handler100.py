@@ -7,14 +7,14 @@ for ora (~2%), whose cache behaviour is nearly perfect.
 
 import pytest
 
-from conftest import INSTRUCTIONS, WARMUP
+from conftest import INSTRUCTIONS, SEED, WARMUP
 from repro.harness.runner import run_figure
 
 
 @pytest.fixture(scope="module")
 def handler100_result():
     return run_figure("handler100", ["compress", "su2cor", "ora"],
-                      ["inorder"], ["N", "S100"], INSTRUCTIONS, WARMUP)
+                      ["inorder"], ["N", "S100"], INSTRUCTIONS, WARMUP, seed=SEED)
 
 
 def test_handler100_runs(run_once):

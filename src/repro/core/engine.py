@@ -42,6 +42,8 @@ class InformingEngine:
         self.mhrr = 0
         # Optional runtime invariant checker (repro.sanitize).
         self._san = None
+        # Optional observer (repro.obs), same attachment pattern.
+        self._obs = None
 
     # -- run-time control (what user code would do by writing the MHAR) ----
     def disable(self) -> None:
@@ -79,6 +81,8 @@ class InformingEngine:
             self.observer(inst)
         body = self.config.handler.instructions(inst)
         self.injected_instructions += len(body)
+        if self._obs is not None:
+            self._obs.on_trap_fire(inst, len(body))
         return body
 
     @property

@@ -132,6 +132,17 @@ class JobRunner:
         sink.emit(JobEvent(event=event, key=key, label=job.label,
                            timestamp=time.time(), **extra))
 
+    @staticmethod
+    def _trace_extra(job: SimJob) -> Dict[str, str]:
+        """FINISHED-event extras for executed jobs: the per-job repro.obs
+        trace path, when a trace directory is configured."""
+        from repro.obs import job_trace_path, obs_trace_dir
+
+        directory = obs_trace_dir()
+        if not directory:
+            return {}
+        return {"trace": job_trace_path(directory, job.label)}
+
     def _build_sink(self, total: int):
         sinks: List = [self.stats] + self.extra_sinks
         trace = None
@@ -220,7 +231,8 @@ class JobRunner:
             self._store(job, result)
             results[index] = result
             self._emit(sink, FINISHED, job, key, attempt=attempt,
-                       wall=wall, cache=cache_state)
+                       wall=wall, cache=cache_state,
+                       **self._trace_extra(job))
 
     # -- parallel path -------------------------------------------------------
     @staticmethod
@@ -299,7 +311,8 @@ class JobRunner:
                     results[index] = result
                     self._emit(sink, FINISHED, job, key,
                                attempt=attempts[index], wall=wall,
-                               cache=cache_state)
+                               cache=cache_state,
+                               **self._trace_extra(job))
             except BrokenProcessPool as exc:
                 # A worker died hard (OOM kill, crashed interpreter): the
                 # pool and every in-flight future are poisoned.  Tear the

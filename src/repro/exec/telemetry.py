@@ -48,6 +48,9 @@ class JobEvent:
     #: Structured InvariantViolation payload (failed jobs whose simulation
     #: tripped a repro.sanitize check), as InvariantViolation.to_dict().
     violation: Optional[Dict[str, Any]] = None
+    #: Path of the repro.obs event trace this job wrote (finished jobs
+    #: executed under REPRO_OBS_DIR / --trace-events only).
+    trace: Optional[str] = None
 
     def to_json(self) -> str:
         data = {k: v for k, v in asdict(self).items() if v is not None}

@@ -13,11 +13,18 @@ Usage::
     python -m repro.harness table2
     python -m repro.harness characterize [--benchmarks a,b]
     python -m repro.harness profile [--top N] [--sort KEY] <command...>
+    python -m repro.harness report (--trace-file PATH | --benchmark B
+                                    --machine M [--label L])
 
 ``profile`` wraps any other invocation in cProfile and prints the top-N
 hot functions afterwards, e.g.::
 
     python -m repro.harness profile --top 30 figure2 --quick --jobs 1
+
+``report`` renders a per-benchmark observability report — miss
+breakdown, miss-latency histogram, top conflict sets, MSHR and
+trap/handler accounting — from a ``repro.obs`` event trace or a live
+single-cell run (see :mod:`repro.obs.report`).
 
 ``--quick`` shrinks run lengths by 4x for smoke testing; ``--json PATH``
 writes any experiment's results as JSON.
@@ -38,6 +45,14 @@ the cache tag stores, MSHR lifetimes and informing-trap semantics, and a
 violation fails that cell with a structured record instead of silently
 wrong bars.  Results are bit-exact with and without it.  The flag works
 by setting ``REPRO_SANITIZE=1``, which forked pool workers inherit.
+
+``--trace-events DIR`` turns on the observability layer
+(:mod:`repro.obs`) the same way — it sets ``REPRO_OBS=1`` and
+``REPRO_OBS_DIR=DIR`` so every simulated cell (pool workers included)
+writes a cycle-stamped ``*.events.jsonl`` trace and ``*.metrics.json``
+under DIR, and each job's ``finished`` telemetry event carries its
+trace path.  Results stay bit-exact; drill into a cell afterwards with
+``python -m repro.harness report --trace-file DIR/<cell>.events.jsonl``.
 """
 
 from __future__ import annotations
@@ -169,6 +184,10 @@ def main(argv=None) -> int:
                               help="run with the runtime invariant "
                                    "sanitizer (repro.sanitize) attached "
                                    "to every simulated cell")
+    engine_group.add_argument("--trace-events", default=None, metavar="DIR",
+                              help="attach the repro.obs observer to every "
+                                   "simulated cell and write per-cell "
+                                   "event traces + metrics under DIR")
     engine_group.add_argument("--bench", default=None, metavar="PATH",
                               help="timing-baseline file to update "
                                    "(default BENCH_harness.json)")
@@ -182,6 +201,11 @@ def main(argv=None) -> int:
         # Through the environment rather than plumbed per-job: forked
         # pool workers inherit it, so --jobs N sanitizes every worker.
         os.environ["REPRO_SANITIZE"] = "1"
+    if args.trace_events:
+        # Same environment route as --sanitize, so --jobs N traces every
+        # worker; REPRO_OBS_DIR alone implies REPRO_OBS.
+        os.environ["REPRO_OBS"] = "1"
+        os.environ["REPRO_OBS_DIR"] = args.trace_events
 
     # Seed only affects the SPEC92 workload generators.
     if args.seed and args.experiment in ("table1", "table2", "figure4",
@@ -331,10 +355,14 @@ def profile_main(argv) -> int:
 
 
 def dispatch(argv=None) -> int:
-    """Route ``profile`` to the wrapper, everything else to :func:`main`."""
+    """Route ``profile``/``report`` to their wrappers, the rest to
+    :func:`main`."""
     argv = sys.argv[1:] if argv is None else list(argv)
     if argv and argv[0] == "profile":
         return profile_main(argv[1:])
+    if argv and argv[0] == "report":
+        from repro.obs import report_main
+        return report_main(argv[1:])
     return main(argv)
 
 

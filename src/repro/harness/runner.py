@@ -117,6 +117,8 @@ def run_bar(
     warmup: int = DEFAULT_WARMUP,
     seed: int = 0,
     sanitize: Optional[bool] = None,
+    observe=None,
+    trace_dir: Optional[str] = None,
 ) -> BarResult:
     """Run one benchmark/machine/bar combination from scratch.
 
@@ -126,7 +128,17 @@ def run_bar(
     :class:`repro.sanitize.Sanitizer` (runtime invariant checking) to the
     core; None defers to the ``REPRO_SANITIZE`` environment variable —
     which is how the ``--sanitize`` CLI flag reaches pool workers.
+
+    ``observe`` attaches a :class:`repro.obs.Observer` (event tracing and
+    metrics): pass an Observer to keep, True/False to force one on/off,
+    or None to defer to ``REPRO_OBS`` / ``REPRO_OBS_DIR`` — which is how
+    ``--trace-events`` reaches pool workers.  When a trace directory is
+    configured (*trace_dir* or ``REPRO_OBS_DIR``), the run writes
+    ``<benchmark>_<machine>_<label>.events.jsonl`` and
+    ``*.metrics.json`` there; the returned BarResult is bit-exact with
+    an unobserved run either way.
     """
+    from repro.obs import Observer, maybe_observer, obs_trace_dir
     from repro.sanitize import maybe_sanitizer
 
     spec = MACHINES[machine_key]
@@ -134,6 +146,12 @@ def run_bar(
     san = maybe_sanitizer(sanitize)
     if san is not None:
         san.attach(core)
+    if isinstance(observe, Observer):
+        obs: Optional[Observer] = observe
+    else:
+        obs = maybe_observer(observe)
+    if obs is not None:
+        obs.attach(core)
     workload = spec92_workload(benchmark, seed_offset=seed)
     # Generous stream bound: instrumentation and replay never exhaust it.
     stream = workload.stream(8 * (instructions + warmup) + 100_000)
@@ -143,6 +161,12 @@ def run_bar(
         stream = add_cc_checks(stream)
     stats = core.run(stream, max_app_insts=instructions + warmup,
                      warmup_insts=warmup)
+    if obs is not None:
+        directory = trace_dir or obs_trace_dir()
+        if directory:
+            from repro.obs import write_run_artifacts
+            write_run_artifacts(
+                obs, directory, f"{benchmark}_{machine_key}_{bar.label}")
     breakdown = stats.breakdown()
     return BarResult(
         benchmark=benchmark,

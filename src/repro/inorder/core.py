@@ -146,6 +146,8 @@ class InOrderCore:
         # Runtime invariant checker (repro.sanitize); None in normal runs,
         # so every hook below costs a single identity test.
         san = hierarchy._san
+        # Observer (repro.obs), same pattern and same off cost.
+        obs = hierarchy._obs
         # Graduation slots accumulate in locals and flush in blocks
         # (see GraduationStats.record_cycles).
         acc_cycles = acc_busy = acc_cache = acc_other = 0
@@ -155,6 +157,8 @@ class InOrderCore:
             if pending_trap is not None and cycle >= pending_trap[0]:
                 _fire, trap_entry, missed_ref, trap_mshr = pending_trap
                 pending_trap = None
+                if obs is not None:
+                    obs.cycle = cycle  # stamp for the engine's trap.fire
                 body = engine.on_miss(missed_ref)
                 if body is not None:
                     if san is not None:
@@ -193,8 +197,12 @@ class InOrderCore:
                 if (inst.handler_code or op is op_mhar_set
                         or op is op_blmiss or op is op_prefetch):
                     stats.handler_instructions += 1
+                    if obs is not None:
+                        obs.on_handler_commit(cycle)
                 else:
                     stats.app_instructions += 1
+                    if obs is not None:
+                        obs.on_app_commit(cycle)
                     app_committed += 1
                     if app_committed == warmup_insts:
                         # Pre-warm-up slots die with the old stats object.
@@ -207,8 +215,12 @@ class InOrderCore:
             if (inflight and inflight[0].was_miss
                     and inflight[0].complete_cycle > cycle):
                 acc_cache += lost
+                if obs is not None:
+                    obs.on_slots(cycle, committed, lost, True)
             else:
                 acc_other += lost
+                if obs is not None:
+                    obs.on_slots(cycle, committed, lost, False)
 
             if max_app_insts is not None and app_committed >= max_app_insts:
                 break
@@ -348,6 +360,8 @@ class InOrderCore:
         stats.record_cycles(acc_cycles, acc_busy, acc_cache, acc_other)
         if san is not None:
             san.on_run_end(hierarchy)
+        if obs is not None:
+            obs.finish()
         return stats
 
     def _reset_stats(self) -> GraduationStats:
@@ -359,6 +373,10 @@ class InOrderCore:
         self.hierarchy.i_misses = 0
         self.engine.invocations = 0
         self.engine.injected_instructions = 0
+        if self.hierarchy._obs is not None:
+            # The trace covers exactly the measured region, so event
+            # counts reconcile with the post-warm-up aggregates.
+            self.hierarchy._obs.reset()
         return self.stats
 
     def _release_mshr(self, entry: _InFlight, squashed: bool) -> None:

@@ -77,6 +77,8 @@ class Cache:
         # Optional runtime invariant checker (repro.sanitize); None keeps
         # the hook cost to one identity test per fill/invalidate.
         self._san = None
+        # Optional observer (repro.obs), same pattern and same cost.
+        self._obs = None
 
     # -- address helpers ---------------------------------------------------
     def line_addr(self, addr: int) -> int:
@@ -128,6 +130,8 @@ class Cache:
         cache_set[line] = dirty
         if self._san is not None:
             self._san.on_fill(self, line & self._set_mask)
+        if self._obs is not None:
+            self._obs.on_cache_fill(self, line & self._set_mask, line, victim)
         return victim
 
     def _choose_victim(self, cache_set: Dict[int, bool]) -> int:
@@ -147,6 +151,9 @@ class Cache:
             del cache_set[line]
             if self._san is not None:
                 self._san.on_invalidate(self, line & self._set_mask)
+            if self._obs is not None:
+                self._obs.on_cache_invalidate(self, line & self._set_mask,
+                                              line)
             return True
         return False
 

@@ -116,6 +116,9 @@ class MemoryHierarchy:
         # Optional runtime invariant checker (repro.sanitize); attached via
         # Sanitizer.attach_hierarchy, None keeps hooks to one identity test.
         self._san = None
+        # Optional observer (repro.obs); attached via
+        # Observer.attach_hierarchy, same pattern and same off cost.
+        self._obs = None
 
     # -- internal helpers ----------------------------------------------------
     def _line_addr(self, addr: int) -> int:
@@ -134,9 +137,15 @@ class MemoryHierarchy:
 
     def _apply_fills(self, cycle: int) -> None:
         """Install lines whose data has arrived by *cycle*."""
+        obs = self._obs
         while self._pending and self._pending[0][0] <= cycle:
             ready, _seq, mshr_id, line_addr, dirty, from_mem = heapq.heappop(
                 self._pending)
+            if obs is not None:
+                # Fill/evict events stamp at data arrival, not at the
+                # access that triggered the drain (heap pops ascending,
+                # so the stamps stay monotonic).
+                obs.cycle = ready
             byte_addr = self._line_to_byte(line_addr)
             if from_mem:
                 self._install_l2(byte_addr)
@@ -183,6 +192,9 @@ class MemoryHierarchy:
             self._apply_fills(cycle)
         if self._san is not None:
             self._san.on_access(self, cycle)
+        obs = self._obs
+        if obs is not None:
+            obs.on_access(cycle)
         line_addr = addr >> self._line_shift
         stats = self.stats
 
@@ -206,6 +218,8 @@ class MemoryHierarchy:
                 cache_set[line_addr] = True
             if not prefetch:
                 stats.l1_hits += 1
+                if obs is not None:
+                    obs.on_l1_hit(line_addr, is_write)
             bank_free = self._bank_free
             bank = line_addr % self._num_banks
             start = bank_free[bank]
@@ -235,6 +249,8 @@ class MemoryHierarchy:
                 else:
                     stats.l1_misses += 1
                     stats.note_line(line_addr)
+                if obs is not None:
+                    obs.on_stream_buffer(line_addr, arrived)
                 self.l1.fill(addr, dirty=is_write)
                 self._top_up_stream_buffer(buffer, cycle)
                 return AccessResult(not arrived, 1, start, ready,
@@ -245,6 +261,9 @@ class MemoryHierarchy:
             entry = self.mshrs.merge(line_addr, is_write and not prefetch)
             if not prefetch:
                 stats.l1_secondary_misses += 1
+                if obs is not None:
+                    obs.on_l1_merge(line_addr, entry.mshr_id,
+                                    entry.data_ready)
             return AccessResult(True, 0, cycle, entry.data_ready,
                                 mshr_id=entry.mshr_id, merged=True,
                                 needs_inform=not entry.informed)
@@ -276,6 +295,9 @@ class MemoryHierarchy:
         entry = self.mshrs.allocate(line_addr, data_ready,
                                     is_write and not prefetch)
         assert entry is not None  # full-check above guarantees a slot
+        if obs is not None and not prefetch:
+            obs.on_l1_miss(line_addr, level, start, data_ready,
+                           entry.mshr_id)
         self._fill_seq += 1
         heapq.heappush(self._pending, (data_ready, self._fill_seq,
                                        entry.mshr_id, line_addr,

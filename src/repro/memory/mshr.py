@@ -63,6 +63,8 @@ class MSHRFile:
         # Optional runtime invariant checker (repro.sanitize); None keeps
         # the hook cost to one identity test per lifetime transition.
         self._san = None
+        # Optional observer (repro.obs), same pattern and same cost.
+        self._obs = None
 
     # -- queries -----------------------------------------------------------
     def lookup(self, line_addr: int) -> Optional[MSHR]:
@@ -100,6 +102,8 @@ class MSHRFile:
         self.high_water = max(self.high_water, len(self._entries))
         if self._san is not None:
             self._san.on_mshr_event(self)
+        if self._obs is not None:
+            self._obs.on_mshr_alloc(entry, len(self._entries))
         return entry
 
     def merge(self, line_addr: int, is_write: bool) -> MSHR:
@@ -109,6 +113,8 @@ class MSHRFile:
             raise KeyError(f"no outstanding miss for line {line_addr:#x}")
         entry.merged += 1
         entry.is_write = entry.is_write or is_write
+        if self._obs is not None:
+            self._obs.on_mshr_merge(entry)
         return entry
 
     def mark_filled(self, mshr_id: int) -> None:
@@ -128,6 +134,8 @@ class MSHRFile:
             del self._entries[entry.mshr_id]
         if self._san is not None:
             self._san.on_mshr_event(self)
+        if self._obs is not None:
+            self._obs.on_mshr_fill(entry, len(self._entries))
 
     def release(self, mshr_id: int, squashed: bool) -> Optional[int]:
         """Extended-lifetime release at graduate (squashed=False) or squash.
@@ -150,6 +158,8 @@ class MSHRFile:
             del self._by_line[entry.line_addr]
         if self._san is not None:
             self._san.on_mshr_event(self)
+        if self._obs is not None:
+            self._obs.on_mshr_release(entry, squashed, len(self._entries))
         return invalidate
 
     def mark_informed(self, mshr_id: int) -> None:

@@ -1,0 +1,108 @@
+"""repro.obs — cycle-stamped event tracing and metrics for the simulators.
+
+The observability layer the paper's premise implies the simulator itself
+should have: informing operations give *software* memory-performance
+feedback; ``repro.obs`` gives the *experimenter* the same per-reference
+visibility.  An :class:`Observer` attaches to a core exactly like the
+:mod:`repro.sanitize` sanitizer — one ``if self._obs is not None``
+identity test per hook site, zero cost when off — and records
+cycle-stamped structured events (cache hits/misses/fills/evictions,
+MSHR lifetimes, informing trap entry/exit), counter and histogram
+metrics, per-set conflict heat, and the MSHR occupancy high-water
+timeline.  Exporters serialize traces as JSONL or Chrome
+``trace_event`` JSON; ``python -m repro.harness report`` renders the
+text report.
+
+Enable per-run with ``run_bar(..., observe=Observer())``, or for a whole
+harness invocation (including pool workers, which inherit the
+environment) with ``--trace-events DIR`` / ``REPRO_OBS=1``:
+
+* ``REPRO_OBS=1`` — attach an observer to every simulated cell
+  (metrics only unless a trace directory is set);
+* ``REPRO_OBS_DIR=DIR`` — also capture full event traces and write
+  ``<benchmark>_<machine>_<label>.events.jsonl`` + ``*.metrics.json``
+  per cell under ``DIR`` (implies ``REPRO_OBS=1``).
+
+Observation is strictly read-only: traced runs are bit-exact with
+untraced ones (CI replays the golden ``figure2 --quick`` grid under
+tracing to enforce this).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.obs.events import EVENT_KINDS, make_event
+from repro.obs.export import (
+    chrome_trace,
+    read_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+    write_run_artifacts,
+)
+from repro.obs.metrics import Counter, Histogram, Registry, top_n
+from repro.obs.observer import Observer
+from repro.obs.report import render_report, report_main, summarize
+
+#: Environment variable that enables observation ("1"/"true"/"yes").
+ENV_VAR = "REPRO_OBS"
+#: Directory for per-run trace artifacts; setting it implies ENV_VAR.
+ENV_DIR = "REPRO_OBS_DIR"
+
+__all__ = [
+    "ENV_DIR",
+    "ENV_VAR",
+    "EVENT_KINDS",
+    "Counter",
+    "Histogram",
+    "Observer",
+    "Registry",
+    "chrome_trace",
+    "job_trace_path",
+    "make_event",
+    "maybe_observer",
+    "obs_enabled",
+    "obs_trace_dir",
+    "read_jsonl",
+    "render_report",
+    "report_main",
+    "summarize",
+    "top_n",
+    "write_chrome_trace",
+    "write_jsonl",
+    "write_run_artifacts",
+]
+
+
+def obs_enabled() -> bool:
+    """True when the environment requests observation."""
+    if os.environ.get(ENV_DIR, "").strip():
+        return True
+    return os.environ.get(ENV_VAR, "").strip().lower() in ("1", "true", "yes")
+
+
+def obs_trace_dir() -> Optional[str]:
+    """The per-run trace-artifact directory, or None for metrics-only."""
+    return os.environ.get(ENV_DIR, "").strip() or None
+
+
+def maybe_observer(explicit: Optional[bool] = None) -> Optional[Observer]:
+    """A fresh :class:`Observer`, or None when observation is off.
+
+    *explicit* overrides the environment in both directions (tests pass
+    False to pin observation off regardless of the environment).  Event
+    capture is enabled when a trace directory is configured; otherwise
+    the observer aggregates metrics only.
+    """
+    enabled = obs_enabled() if explicit is None else explicit
+    if not enabled:
+        return None
+    return Observer(trace=explicit is True or obs_trace_dir() is not None)
+
+
+def job_trace_path(directory: str, label: str) -> str:
+    """The ``*.events.jsonl`` path a job labelled *label* writes under
+    *directory* (slashes in the label become underscores)."""
+    return os.path.join(directory,
+                        label.replace("/", "_") + ".events.jsonl")

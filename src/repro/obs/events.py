@@ -1,0 +1,60 @@
+"""The event taxonomy: every kind a trace can contain, and what it means.
+
+An event is a plain dict with at least ``{"cycle": int, "kind": str}``
+plus kind-specific fields; keeping events as dicts makes the JSONL and
+Chrome ``trace_event`` exporters trivial and lets the report layer
+consume a live run and a re-loaded trace file identically.
+
+Kinds mirror where the simulator's aggregate counters are incremented,
+so a trace always reconciles with the run's end-of-run statistics (the
+test suite asserts this): one ``l1.hit`` per ``MemStats.l1_hits``, one
+``l1.miss`` per primary miss, one ``l1.merge`` per secondary miss, one
+``trap.fire`` per handler invocation, and so on.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+# -- access outcomes (emitted by memory/hierarchy.py) -------------------------
+L1_HIT = "l1.hit"            # demand access satisfied by the L1 tag store
+L1_MISS = "l1.miss"          # primary demand miss (level: 2=L2 hit, 3=memory)
+L1_MERGE = "l1.merge"        # secondary miss merged into an in-flight MSHR
+
+# -- tag-store state changes (emitted by memory/cache.py) ---------------------
+CACHE_FILL = "cache.fill"    # a line installed into a tag store
+CACHE_EVICT = "cache.evict"  # the victim a fill displaced (dirty => writeback)
+CACHE_INVAL = "cache.invalidate"  # an explicit invalidation removed a line
+
+# -- MSHR lifetime (emitted by memory/mshr.py) --------------------------------
+MSHR_ALLOC = "mshr.alloc"    # primary miss allocated a register
+MSHR_MERGE = "mshr.merge"    # secondary miss merged into a register
+MSHR_FILL = "mshr.fill"      # the register's fill completed
+MSHR_RELEASE = "mshr.release"  # extended-lifetime graduate/squash release
+
+# -- informing mechanism (emitted by core/engine.py and the run loops) --------
+TRAP_FIRE = "trap.fire"      # a miss handler was entered (handler_len injected)
+TRAP_RETURN = "trap.return"  # the handler's last instruction committed
+
+#: kind -> one-line meaning, for documentation and report footers.
+EVENT_KINDS: Dict[str, str] = {
+    L1_HIT: "demand access hit the primary data cache",
+    L1_MISS: "primary demand miss (field 'level': 2 = L2 hit, 3 = memory)",
+    L1_MERGE: "secondary miss merged into an outstanding line fetch",
+    CACHE_FILL: "line installed into a tag store (field 'cache' names it)",
+    CACHE_EVICT: "fill victim displaced (field 'dirty' means writeback)",
+    CACHE_INVAL: "line removed by an explicit invalidation",
+    MSHR_ALLOC: "MSHR allocated for a primary miss (field 'occupancy')",
+    MSHR_MERGE: "secondary miss recorded on an MSHR",
+    MSHR_FILL: "an MSHR's fill completed",
+    MSHR_RELEASE: "extended-lifetime MSHR release (field 'squashed')",
+    TRAP_FIRE: "informing miss handler entered (field 'handler_len')",
+    TRAP_RETURN: "handler body finished committing (field 'committed')",
+}
+
+
+def make_event(cycle: int, kind: str, **fields: Any) -> Dict[str, Any]:
+    """Build one cycle-stamped event dict (helper for tests and tools)."""
+    event = {"cycle": cycle, "kind": kind}
+    event.update(fields)
+    return event

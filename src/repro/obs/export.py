@@ -1,0 +1,135 @@
+"""Trace exporters: JSONL (lossless) and Chrome ``trace_event`` (visual).
+
+JSONL is the canonical on-disk form — one event dict per line, loadable
+with :func:`read_jsonl` into exactly the list an :class:`Observer`
+accumulated, so the report layer treats live runs and re-loaded traces
+identically.
+
+The Chrome exporter maps events onto the ``trace_event`` JSON format
+(the JSON-object flavour: ``{"traceEvents": [...]}``) that
+``chrome://tracing`` and Perfetto load directly.  Cycles map to
+microseconds one-to-one.  Point events become instants (``ph: "i"``);
+events with a known span — an ``l1.miss`` between its ``start`` and
+``ready`` cycles, a ``trap.return`` covering its handler's commit run —
+become complete events (``ph: "X"`` with ``dur``) so miss latency and
+handler occupancy are visible as bars on the timeline.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Iterable, List
+
+from repro.obs import events as ev
+
+#: Chrome trace thread ids: one lane per event family keeps the timeline
+#: readable (kind prefix -> (tid, lane name)).
+_LANES = {
+    "l1": (1, "L1 accesses"),
+    "cache": (2, "tag stores"),
+    "mshr": (3, "MSHRs"),
+    "trap": (4, "informing"),
+}
+_DEFAULT_LANE = (5, "other")
+
+
+# -- JSONL --------------------------------------------------------------------
+
+def write_jsonl(events: Iterable[Dict[str, Any]], path: str) -> str:
+    """Write *events* one JSON object per line; return *path*."""
+    with open(path, "w") as fh:
+        for event in events:
+            fh.write(json.dumps(event, sort_keys=True) + "\n")
+    return path
+
+
+def read_jsonl(path: str) -> List[Dict[str, Any]]:
+    """Load a JSONL trace back into the in-memory event-list form."""
+    events = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+# -- Chrome trace_event -------------------------------------------------------
+
+def _lane(kind: str):
+    return _LANES.get(kind.split(".", 1)[0], _DEFAULT_LANE)
+
+
+def chrome_trace(events: Iterable[Dict[str, Any]],
+                 process_name: str = "repro-sim") -> Dict[str, Any]:
+    """Convert an event list to a Chrome ``trace_event`` JSON object."""
+    trace_events: List[Dict[str, Any]] = [{
+        "name": "process_name", "ph": "M", "pid": 0, "tid": 0,
+        "args": {"name": process_name},
+    }]
+    for tid, name in sorted(set(_LANES.values()) | {_DEFAULT_LANE}):
+        trace_events.append({"name": "thread_name", "ph": "M", "pid": 0,
+                             "tid": tid, "args": {"name": name}})
+    for event in events:
+        kind = event["kind"]
+        cycle = event["cycle"]
+        tid, _ = _lane(kind)
+        args = {k: v for k, v in event.items()
+                if k not in ("cycle", "kind")}
+        record: Dict[str, Any] = {"name": kind, "pid": 0, "tid": tid,
+                                  "args": args}
+        if kind == ev.L1_MISS and "start" in event:
+            record["ph"] = "X"
+            record["ts"] = event["start"]
+            record["dur"] = max(event["ready"] - event["start"], 1)
+        elif kind == ev.TRAP_RETURN and "start" in event:
+            record["ph"] = "X"
+            record["ts"] = event["start"]
+            record["dur"] = max(cycle - event["start"], 1)
+        else:
+            record["ph"] = "i"
+            record["ts"] = cycle
+            record["s"] = "t"  # instant scoped to its thread lane
+        trace_events.append(record)
+    return {"traceEvents": trace_events, "displayTimeUnit": "ns"}
+
+
+def write_chrome_trace(events: Iterable[Dict[str, Any]], path: str,
+                       process_name: str = "repro-sim") -> str:
+    """Write the Chrome ``trace_event`` JSON for *events*; return *path*."""
+    with open(path, "w") as fh:
+        json.dump(chrome_trace(events, process_name), fh)
+    return path
+
+
+# -- per-run artifacts --------------------------------------------------------
+
+def write_run_artifacts(observer, directory: str, stem: str
+                        ) -> Dict[str, str]:
+    """Write one run's trace + metrics under *directory*.
+
+    Produces ``<stem>.events.jsonl`` (when the observer captured events)
+    and ``<stem>.metrics.json``; returns ``{"events": path, "metrics":
+    path}`` for whatever was written.
+    """
+    os.makedirs(directory, exist_ok=True)
+    paths: Dict[str, str] = {}
+    if observer.trace:
+        paths["events"] = write_jsonl(
+            observer.events, os.path.join(directory,
+                                          f"{stem}.events.jsonl"))
+    payload = {
+        "stem": stem,
+        "events": len(observer.events),
+        "metrics": observer.metrics.to_dict(),
+        "conflict_heat": {
+            cache: {str(s): n for s, n in sorted(heat.items())}
+            for cache, heat in sorted(observer.conflict_heat.items())},
+        "mshr_timeline": [list(point) for point in observer.mshr_timeline],
+    }
+    metrics_path = os.path.join(directory, f"{stem}.metrics.json")
+    with open(metrics_path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+    paths["metrics"] = metrics_path
+    return paths

@@ -1,0 +1,123 @@
+"""Counter / histogram registry backing the observability layer.
+
+Metrics are the cheap always-aggregated half of the obs subsystem: a
+trace answers "what happened at cycle N", the registry answers "how was
+it distributed" without replaying anything.  Everything here is plain
+Python integers and dicts — JSON-able with no conversion step.
+
+Histograms use power-of-two buckets: ``record(v)`` lands in the bucket
+whose lower bound is the largest power of two <= v (0 gets its own
+bucket), which is the right shape for miss latencies and handler
+lengths — both span two orders of magnitude and only the coarse shape
+matters.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+
+class Counter:
+    """A named monotonically-increasing integer."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Histogram:
+    """Power-of-two bucketed value distribution.
+
+    Buckets are keyed by their lower bound (0, 1, 2, 4, 8, ...); counts
+    plus ``total``/``count`` give the mean without storing samples.
+    """
+
+    __slots__ = ("name", "buckets", "count", "total", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.buckets: Dict[int, int] = {}
+        self.count = 0
+        self.total = 0
+        self.min: Optional[int] = None
+        self.max: Optional[int] = None
+
+    def record(self, value: int) -> None:
+        bucket = 0 if value <= 0 else 1 << (value.bit_length() - 1)
+        self.buckets[bucket] = self.buckets.get(bucket, 0) + 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": round(self.mean, 3),
+            "min": self.min,
+            "max": self.max,
+            "buckets": {str(k): v for k, v in sorted(self.buckets.items())},
+        }
+
+    def render(self, width: int = 40) -> List[str]:
+        """ASCII rows ``[lo, 2*lo) ####... count`` for the report."""
+        if not self.buckets:
+            return ["  (empty)"]
+        peak = max(self.buckets.values())
+        rows = []
+        for lo, n in sorted(self.buckets.items()):
+            hi = 1 if lo == 0 else lo * 2
+            bar = "#" * max(1, round(width * n / peak))
+            rows.append(f"  [{lo:>6},{hi:>6}) {bar} {n}")
+        return rows
+
+
+class Registry:
+    """A flat name -> Counter/Histogram store.
+
+    ``counter(name)`` / ``histogram(name)`` create on first use, so hook
+    code never pre-declares; ``to_dict()`` is the metrics.json payload.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = self._counters[name] = Counter(name)
+        return metric
+
+    def histogram(self, name: str) -> Histogram:
+        metric = self._histograms.get(name)
+        if metric is None:
+            metric = self._histograms[name] = Histogram(name)
+        return metric
+
+    def counters(self) -> Dict[str, int]:
+        return {name: c.value for name, c in sorted(self._counters.items())}
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "counters": self.counters(),
+            "histograms": {name: h.to_dict() for name, h
+                           in sorted(self._histograms.items())},
+        }
+
+
+def top_n(heat: Dict[int, int], n: int = 5) -> List[Tuple[int, int]]:
+    """The *n* hottest (key, count) pairs, hottest first, ties by key."""
+    return sorted(heat.items(), key=lambda kv: (-kv[1], kv[0]))[:n]

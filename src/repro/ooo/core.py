@@ -177,6 +177,8 @@ class OutOfOrderCore:
         # Runtime invariant checker (repro.sanitize); None in normal runs,
         # so every hook below costs a single identity test.
         san = hierarchy._san
+        # Observer (repro.obs), same pattern and same off cost.
+        obs = hierarchy._obs
         shadow_branches = config.shadow_branches
         # Graduation slots accumulate in locals and flush in blocks
         # (see GraduationStats.record_cycles).
@@ -218,6 +220,8 @@ class OutOfOrderCore:
             # fetch already ran.
             if mshr_id is not None and hierarchy.mshrs.is_informed(mshr_id):
                 return
+            if obs is not None:
+                obs.cycle = fire_cycle  # stamp for the engine's trap.fire
             body = engine.on_miss(missed_ref)
             if body is None:
                 return
@@ -265,8 +269,12 @@ class OutOfOrderCore:
                 if (inst.handler_code or op is op_mhar_set
                         or op is op_blmiss or op is op_prefetch):
                     stats.handler_instructions += 1
+                    if obs is not None:
+                        obs.on_handler_commit(cycle)
                 else:
                     stats.app_instructions += 1
+                    if obs is not None:
+                        obs.on_app_commit(cycle)
                     app_committed += 1
                     if app_committed == warmup_insts:
                         # Pre-warm-up slots die with the old stats object.
@@ -302,8 +310,12 @@ class OutOfOrderCore:
             if (head is not None and head.was_miss
                     and head.state == _ISSUED and head.complete_cycle > cycle):
                 acc_cache += lost
+                if obs is not None:
+                    obs.on_slots(cycle, graduated, lost, True)
             else:
                 acc_other += lost
+                if obs is not None:
+                    obs.on_slots(cycle, graduated, lost, False)
 
             if max_app_insts is not None and app_committed >= max_app_insts:
                 break
@@ -508,6 +520,8 @@ class OutOfOrderCore:
         stats.record_cycles(acc_cycles, acc_busy, acc_cache, acc_other)
         if san is not None:
             san.on_run_end(hierarchy)
+        if obs is not None:
+            obs.finish()
         return stats
 
     def _reset_stats(self) -> GraduationStats:
@@ -519,6 +533,10 @@ class OutOfOrderCore:
         self.hierarchy.i_misses = 0
         self.engine.invocations = 0
         self.engine.injected_instructions = 0
+        if self.hierarchy._obs is not None:
+            # The trace covers exactly the measured region, so event
+            # counts reconcile with the post-warm-up aggregates.
+            self.hierarchy._obs.reset()
         return self.stats
 
     # -- memory issue --------------------------------------------------------

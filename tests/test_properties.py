@@ -255,3 +255,165 @@ class TestCoreInvariantProperties:
         informed = make_ooo(informing=trap_config(n=2)).run(list(trace))
         assert informed.app_instructions == base.app_instructions == len(refs)
         assert informed.cycles >= 1
+
+
+# ---------------------------------------------------------------------------
+# Seeded-random replacement and MSHR invariants (plain random.Random — these
+# enumerate fixed seed ranges so every CI run replays the identical cases).
+# ---------------------------------------------------------------------------
+
+class _RefCache:
+    """Reference replacement model mirroring Cache's documented semantics.
+
+    Each set is a list of lines in replacement order (oldest first) plus a
+    dirty map.  ``lru`` refreshes on probe hits and fills, ``fifo`` only on
+    fills, ``random`` never reorders and picks its victim with the same
+    LCG stream the Cache uses.
+    """
+
+    def __init__(self, num_sets, assoc, line_size, policy, seed=12345):
+        self.num_sets = num_sets
+        self.assoc = assoc
+        self.line_shift = line_size.bit_length() - 1
+        self.policy = policy
+        self.order = [[] for _ in range(num_sets)]
+        self.dirty = [dict() for _ in range(num_sets)]
+        self.rand_state = seed or 1
+
+    def _set(self, line):
+        return line & (self.num_sets - 1)
+
+    def probe(self, addr, is_write=False):
+        line = addr >> self.line_shift
+        s = self._set(line)
+        if line not in self.dirty[s]:
+            return False
+        if self.policy == "lru":
+            self.order[s].remove(line)
+            self.order[s].append(line)
+            self.dirty[s][line] = self.dirty[s][line] or is_write
+        elif is_write:
+            self.dirty[s][line] = True
+        return True
+
+    def fill(self, addr, dirty=False):
+        line = addr >> self.line_shift
+        s = self._set(line)
+        if line in self.dirty[s]:
+            if self.policy != "random":
+                self.order[s].remove(line)
+                self.order[s].append(line)
+            self.dirty[s][line] = self.dirty[s][line] or dirty
+            return
+        if len(self.order[s]) >= self.assoc:
+            if self.policy == "random":
+                self.rand_state = (
+                    self.rand_state * 1103515245 + 12345) & 0x7FFFFFFF
+                index = self.rand_state % len(self.order[s])
+            else:
+                index = 0
+            victim = self.order[s].pop(index)
+            del self.dirty[s][victim]
+        self.order[s].append(line)
+        self.dirty[s][line] = dirty
+
+
+def _replacement_case(seed, policy):
+    """One randomized config + op string, checked after every operation."""
+    rng = random.Random(seed)
+    num_sets = rng.choice([1, 2, 4, 8])
+    assoc = rng.randint(1, 8)
+    line_size = 32
+    config = CacheConfig(size=num_sets * assoc * line_size, assoc=assoc,
+                         line_size=line_size)
+    cache = Cache(config, policy=policy)
+    model = _RefCache(num_sets, assoc, line_size, policy)
+    # A pool a little larger than capacity forces steady evictions.
+    pool = [rng.randrange(0, 4 * num_sets * assoc) * line_size
+            for _ in range(3 * assoc * num_sets + 4)]
+    for _ in range(rng.randint(20, 120)):
+        addr = rng.choice(pool)
+        is_write = rng.random() < 0.3
+        if rng.random() < 0.5:
+            assert cache.probe(addr, is_write=is_write) == \
+                model.probe(addr, is_write=is_write)
+        else:
+            cache.fill(addr, dirty=is_write)
+            model.fill(addr, dirty=is_write)
+        assert cache.resident_lines() <= num_sets * assoc
+        for s in range(num_sets):
+            assert list(cache._sets[s]) == model.order[s], \
+                f"seed {seed}: set {s} order diverged"
+            assert cache._sets[s] == model.dirty[s], \
+                f"seed {seed}: set {s} dirty bits diverged"
+
+
+class TestReplacementReferenceModel:
+    """occupancy <= ways and exact resident-set/order/dirty agreement with
+    the reference model, over randomized configs and access strings."""
+
+    def test_lru_matches_reference(self):
+        for seed in range(100):
+            _replacement_case(seed, "lru")
+
+    def test_fifo_matches_reference(self):
+        for seed in range(100):
+            _replacement_case(1000 + seed, "fifo")
+
+    def test_random_matches_reference(self):
+        for seed in range(100):
+            _replacement_case(2000 + seed, "random")
+
+
+class TestMSHRSeededInvariants:
+    """Randomized MSHR lifetime sequences against the documented contract."""
+
+    def test_merge_release_invariants(self):
+        for seed in range(200):
+            rng = random.Random(3000 + seed)
+            count = rng.randint(1, 8)
+            extended = rng.random() < 0.5
+            file = MSHRFile(count=count, extended_lifetime=extended)
+            pinned = []          # allocated ids awaiting release (extended)
+            merged_total = 0
+            for step in range(rng.randint(10, 60)):
+                line = rng.randrange(0, 12)
+                entry = file.lookup(line)
+                if entry is not None:
+                    before = entry.merged
+                    file.merge(line, rng.random() < 0.5)
+                    merged_total += 1
+                    assert entry.merged == before + 1
+                elif not file.full:
+                    entry = file.allocate(line, step + 10,
+                                          rng.random() < 0.5)
+                    assert entry is not None
+                    assert entry.pinned == extended
+                    assert file.lookup(line) is entry
+                    if extended:
+                        pinned.append(entry.mshr_id)
+                elif rng.random() < 0.5 and pinned:
+                    # Full file: drain one pinned entry to make room.
+                    mshr_id = pinned.pop(rng.randrange(len(pinned)))
+                    file.mark_filled(mshr_id)
+                    file.release(mshr_id, squashed=rng.random() < 0.5)
+                # Core invariants after every operation:
+                assert file.occupancy() <= count
+                assert file.high_water <= count
+                live_lines = [e.line_addr for e in file.entries()
+                              if not e.filled]
+                assert len(live_lines) == len(set(live_lines)), \
+                    f"seed {seed}: duplicate in-flight line"
+                for e in file.entries():
+                    if not e.filled:
+                        assert file.lookup(e.line_addr) is e
+            # Drain: every entry releases; the file must come back empty.
+            if extended:
+                for mshr_id in pinned:
+                    file.mark_filled(mshr_id)
+                    file.release(mshr_id, squashed=False)
+            else:
+                for e in file.entries():
+                    file.mark_filled(e.mshr_id)
+            assert file.occupancy() == 0
+            assert file.lookup(0) is None
