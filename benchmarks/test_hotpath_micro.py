@@ -20,6 +20,13 @@ Usage::
     REPRO_HOTPATH_RECORD=1 PYTHONPATH=src python -m pytest \
         benchmarks/test_hotpath_micro.py --benchmark-disable -q
 
+    # record fresh timings to a separate file (the perf-gate CI job does
+    # this, then `python -m repro.harness compare`s it against the
+    # committed BENCH_hotpath.json with a noise threshold)
+    REPRO_HOTPATH_RECORD=1 REPRO_HOTPATH_RECORD_TO=fresh.json \
+        PYTHONPATH=src python -m pytest \
+        benchmarks/test_hotpath_micro.py --benchmark-disable -q
+
 Each scenario returns a checksum-ish value that is asserted against a
 pinned constant, so the check-only mode doubles as a cheap functional
 regression test of the optimized paths (the golden-parity suite in
@@ -44,6 +51,10 @@ BENCH_PATH = os.path.join(os.path.dirname(__file__), os.pardir,
                           "BENCH_hotpath.json")
 
 RECORD = os.environ.get("REPRO_HOTPATH_RECORD") == "1"
+
+#: Redirect the recorded snapshot (perf-gate: record fresh timings next
+#: to, not over, the committed baseline).
+RECORD_TO = os.environ.get("REPRO_HOTPATH_RECORD_TO") or BENCH_PATH
 
 
 # -- scenarios ---------------------------------------------------------------
@@ -133,9 +144,16 @@ def test_record_snapshot():
     into the committed snapshot, preserving any other sections (the cold
     figure2 wall-time evidence is maintained by hand — it needs a paired
     baseline measurement on the same machine in the same sitting).
+    ``REPRO_HOTPATH_RECORD_TO=PATH`` records to a separate file instead —
+    the perf-gate CI job uses that to get fresh timings to ``harness
+    compare`` against the committed baseline.  The write is atomic
+    (tmp + rename), so an interrupted recording never truncates the
+    baseline.
     """
     if not RECORD:
         pytest.skip("set REPRO_HOTPATH_RECORD=1 to rewrite BENCH_hotpath.json")
+    from repro.exec import atomic_write_json
+
     timings = {}
     for name, func in sorted(SCENARIOS.items()):
         best = None
@@ -146,14 +164,12 @@ def test_record_snapshot():
             best = elapsed if best is None or elapsed < best else best
         timings[name] = round(best, 4)
     payload = {}
-    if os.path.exists(BENCH_PATH):
-        with open(BENCH_PATH) as fh:
+    if os.path.exists(RECORD_TO):
+        with open(RECORD_TO) as fh:
             payload = json.load(fh)
     payload["schema"] = 1
     payload["microbenchmarks"] = {
         "unit": "seconds (best of 3)",
         "timings": timings,
     }
-    with open(BENCH_PATH, "w") as fh:
-        json.dump(payload, fh, indent=2, sort_keys=True)
-        fh.write("\n")
+    atomic_write_json(RECORD_TO, payload)

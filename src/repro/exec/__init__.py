@@ -10,7 +10,7 @@ structured :mod:`~repro.exec.telemetry` events for every scheduling step.
 ``python -m repro.exec cache stats|purge`` manages the on-disk store.
 """
 
-from repro.exec.bench import DEFAULT_BENCH_PATH, record_run
+from repro.exec.bench import DEFAULT_BENCH_PATH, atomic_write_json, record_run
 from repro.exec.cache import CacheStats, ResultCache, default_cache_dir
 from repro.exec.engine import (
     ExecOptions,
@@ -26,17 +26,26 @@ from repro.exec.job import (
     execute_job,
 )
 from repro.exec.telemetry import (
+    RUN_HEADER,
+    TELEMETRY_SCHEMA,
     CollectingSink,
     JobEvent,
     JsonlTraceSink,
     MultiSink,
     ProgressPrinter,
     RunTelemetry,
+    git_sha,
+    run_header_record,
 )
 
 __all__ = [
     "DEFAULT_BENCH_PATH",
+    "RUN_HEADER",
+    "TELEMETRY_SCHEMA",
+    "atomic_write_json",
+    "git_sha",
     "record_run",
+    "run_header_record",
     "SCHEMA_VERSION",
     "SimJob",
     "execute_job",

@@ -12,11 +12,23 @@ measure different things — simulator speed vs cache/orchestration
 overhead — and schema 1 silently overwrote one with the other, which made
 the trajectory useless for perf comparisons the moment anyone ran with a
 warm cache.
+
+Writes are **atomic** (tmp file + ``os.replace`` in the same directory)
+so a killed run never leaves a truncated baseline, and the file — with
+its ``updated`` stamp — is only rewritten when an entry's values
+actually changed (timestamps aside), so CI diffs of ``BENCH_*.json``
+show real movement instead of churn.  Independently of the snapshot
+file, every recorded run appends one line to ``BENCH_trajectory.jsonl``
+next to it (see :mod:`repro.perf.trajectory`): the snapshot answers
+"what is the current baseline", the trajectory answers "how did we get
+here".
 """
 
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 import time
 from pathlib import Path
 from typing import Any, Dict
@@ -27,19 +39,52 @@ DEFAULT_BENCH_PATH = "BENCH_harness.json"
 #: Cache-temperature slots within one experiment's bench entry.
 TEMPERATURES = ("cold", "warm")
 
+#: Entry fields that change on every run without the run being different.
+VOLATILE_FIELDS = ("timestamp",)
+
 
 def run_temperature(stats_dict: Dict[str, Any]) -> str:
     """Classify a run: ``"warm"`` if any job came from cache else ``"cold"``."""
     return "warm" if stats_dict.get("cache_hits", 0) > 0 else "cold"
 
 
+def atomic_write_json(path, data: Any) -> None:
+    """Write *data* as JSON via a same-directory tmp file + rename.
+
+    ``os.replace`` is atomic on POSIX, so readers (and git) only ever see
+    the old file or the complete new one — never a truncated write.
+    """
+    path = Path(path)
+    payload = json.dumps(data, indent=2, sort_keys=True) + "\n"
+    fd, tmp = tempfile.mkstemp(dir=str(path.parent or Path(".")),
+                               prefix=path.name + ".", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as fh:
+            fh.write(payload)
+        os.replace(tmp, str(path))
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def _stable(entry: Dict[str, Any]) -> Dict[str, Any]:
+    """An entry with its volatile fields dropped, for change detection."""
+    return {k: v for k, v in entry.items() if k not in VOLATILE_FIELDS}
+
+
 def record_run(path, experiment: str, runner) -> Dict[str, Any]:
     """Merge one experiment's run stats from *runner* into the bench file.
 
-    Returns the entry written.  The file maps experiment name →
+    Returns the entry recorded.  The file maps experiment name →
     ``{"cold": ..., "warm": ...}`` (each slot holds the most recent run of
     that temperature; a cold run never clobbers the warm baseline and vice
-    versa).  Corrupt or old-schema files are replaced wholesale.
+    versa).  Corrupt or old-schema files are replaced wholesale.  When the
+    new entry matches the existing slot in everything but its timestamp,
+    the file is left untouched (``updated`` keeps its old value); the
+    trajectory line is appended either way.
     """
     path = Path(path)
     try:
@@ -57,7 +102,12 @@ def record_run(path, experiment: str, runner) -> Dict[str, Any]:
     temperature = run_temperature(entry)
     entry["temperature"] = temperature
     slot = data["experiments"].setdefault(experiment, {})
-    slot[temperature] = entry
-    data["updated"] = entry["timestamp"]
-    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    changed = _stable(slot.get(temperature, {})) != _stable(entry)
+    if changed:
+        slot[temperature] = entry
+        data["updated"] = entry["timestamp"]
+        atomic_write_json(path, data)
+
+    from repro.perf.trajectory import append_bench_run
+    append_bench_run(path, experiment, entry)
     return entry

@@ -50,12 +50,14 @@ from repro.exec.telemetry import (
     QUEUED,
     RETRIED,
     STARTED,
+    CollectingSink,
     JobEvent,
     JsonlTraceSink,
     MultiSink,
     NullSink,
     ProgressPrinter,
     RunTelemetry,
+    run_header_record,
 )
 from repro.sanitize.violation import InvariantViolation
 
@@ -89,6 +91,12 @@ class ExecOptions:
     backoff: float = 0.25               # seconds; doubles per retry
     trace_path: Optional[str] = None    # JSONL event dump
     progress: bool = False              # live stderr progress meter
+    #: Root directory for cross-run manifests (repro.perf): each run()
+    #: writes ``<manifest_dir>/<run_id>/manifest.json``.  None disables.
+    manifest_dir: Optional[str] = None
+    #: Run provenance merged into the telemetry header and the manifest
+    #: (experiment name, CLI argv, seed, ...).
+    run_meta: Optional[Dict[str, Any]] = None
 
 
 def _timed_call(execute: Callable[[SimJob], Dict[str, Any]],
@@ -125,6 +133,10 @@ class JobRunner:
         else:
             self.cache = None
         self.stats = RunTelemetry()
+        #: Path of the most recent run's manifest.json (repro.perf), when
+        #: ``options.manifest_dir`` is set and the write succeeded.
+        self.last_manifest: Optional[str] = None
+        self._trace_opened = False
 
     # -- telemetry helpers ---------------------------------------------------
     def _emit(self, sink, event: str, job: SimJob, key: str,
@@ -143,15 +155,34 @@ class JobRunner:
             return {}
         return {"trace": job_trace_path(directory, job.label)}
 
+    def _header(self, total: int) -> Dict[str, Any]:
+        """The run-header record for this invocation's telemetry stream."""
+        meta = self.options.run_meta or {}
+        return run_header_record(
+            experiment=meta.get("experiment"),
+            argv=meta.get("argv"),
+            seed=meta.get("seed"),
+            workers=self.options.jobs,
+            jobs=total)
+
     def _build_sink(self, total: int):
         sinks: List = [self.stats] + self.extra_sinks
         trace = None
+        collector = None
         if self.options.trace_path:
-            trace = JsonlTraceSink(self.options.trace_path)
+            # First grid truncates any stale file; later grids of the
+            # same runner (multi-grid experiments) append to the stream.
+            trace = JsonlTraceSink(self.options.trace_path,
+                                   header=self._header(total),
+                                   mode="a" if self._trace_opened else "w")
+            self._trace_opened = True
             sinks.append(trace)
+        if self.options.manifest_dir:
+            collector = CollectingSink()
+            sinks.append(collector)
         if self.options.progress:
             sinks.append(ProgressPrinter(total))
-        return (MultiSink(sinks) if sinks else NullSink()), trace
+        return (MultiSink(sinks) if sinks else NullSink()), trace, collector
 
     # -- main entry ----------------------------------------------------------
     def run(self, jobs: Sequence[SimJob]) -> List[Dict[str, Any]]:
@@ -161,11 +192,12 @@ class JobRunner:
         ``sensitivity`` submits several grids through one runner); build a
         fresh JobRunner for independent accounting.
         """
-        sink, trace = self._build_sink(len(jobs))
+        sink, trace, collector = self._build_sink(len(jobs))
         run_start = time.perf_counter()
+        results: List[Optional[Dict[str, Any]]] = [None] * len(jobs)
+        error: Optional[BaseException] = None
         try:
             keys = [job.cache_key() for job in jobs]
-            results: List[Optional[Dict[str, Any]]] = [None] * len(jobs)
             pending: List[int] = []
             for index, (job, key) in enumerate(zip(jobs, keys)):
                 self._emit(sink, QUEUED, job, key)
@@ -184,10 +216,31 @@ class JobRunner:
                 else:
                     self._run_parallel(jobs, keys, pending, results, sink)
             return results  # type: ignore[return-value]
+        except BaseException as exc:
+            error = exc
+            raise
         finally:
             self.stats.wall += time.perf_counter() - run_start
             if trace is not None:
                 trace.close()
+            if collector is not None:
+                self._write_manifest(jobs, results, collector, error)
+
+    def _write_manifest(self, jobs, results, collector, error) -> None:
+        """Cross-run observatory hook: persist this run's manifest.
+
+        Imported lazily so repro.exec keeps no hard dependency on
+        repro.perf; a manifest-write failure never masks the run itself.
+        """
+        from repro.perf.manifest import write_run_manifest
+
+        try:
+            self.last_manifest = write_run_manifest(
+                self.options.manifest_dir, jobs=jobs, results=results,
+                events=collector.events, runner=self,
+                error=error)
+        except OSError:
+            self.last_manifest = None
 
     # -- serial path ---------------------------------------------------------
     def _run_serial(self, jobs, keys, pending, results, sink,

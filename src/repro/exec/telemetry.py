@@ -15,7 +15,9 @@ pluggable objects with an ``emit(event)`` method:
 
 from __future__ import annotations
 
+import functools
 import json
+import subprocess
 import sys
 import time
 from dataclasses import asdict, dataclass, field
@@ -31,6 +33,47 @@ FAILED = "failed"
 #: The worker pool died under a job (OOM kill, crashed interpreter);
 #: unfinished jobs fall back to the serial path.
 POOL_BROKEN = "pool_broken"
+#: Stream-level header record: always the first line of a telemetry JSONL
+#: stream, carrying the schema version and run provenance so consumers
+#: (``harness watch`` / ``harness compare``) can self-describe the file.
+RUN_HEADER = "run_header"
+
+#: Version of the JSONL stream layout.  Bumped whenever the header or
+#: event record shapes change incompatibly; readers reject versions they
+#: do not understand instead of mis-parsing.
+TELEMETRY_SCHEMA = 1
+
+
+@functools.lru_cache(maxsize=1)
+def git_sha() -> Optional[str]:
+    """The repository HEAD sha, or None outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"], capture_output=True, text=True,
+            timeout=5)
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def run_header_record(*, experiment: Optional[str] = None,
+                      argv: Optional[Sequence[str]] = None,
+                      seed: Optional[int] = None,
+                      workers: Optional[int] = None,
+                      jobs: Optional[int] = None) -> Dict[str, Any]:
+    """The self-describing first record of a telemetry JSONL stream."""
+    return {
+        "event": RUN_HEADER,
+        "schema": TELEMETRY_SCHEMA,
+        "git_sha": git_sha(),
+        "experiment": experiment,
+        "argv": list(argv) if argv is not None else list(sys.argv),
+        "seed": seed,
+        "workers": workers,
+        "jobs": jobs,
+        "started": time.time(),
+    }
 
 
 @dataclass
@@ -86,11 +129,31 @@ class CollectingSink:
 
 
 class JsonlTraceSink:
-    """Append events to a JSONL file, one object per line."""
+    """Write events to a JSONL file, one object per line.
 
-    def __init__(self, path: str) -> None:
+    *header* (a :func:`run_header_record` dict) is written before any
+    event, so the stream leads with its schema version and provenance.
+    *mode* is ``"w"`` or ``"a"``: the engine truncates on a runner's
+    first grid and appends for subsequent grids of the same runner (a
+    multi-grid experiment like ``sensitivity`` is one stream with one
+    header per grid), so a stale file from an earlier invocation never
+    bleeds into a new run's stream.
+    """
+
+    def __init__(self, path: str,
+                 header: Optional[Dict[str, Any]] = None,
+                 mode: str = "a") -> None:
         self.path = path
-        self._fh: Optional[IO[str]] = open(path, "a")
+        self._fh: Optional[IO[str]] = open(path, mode)
+        if header is not None:
+            self.write_record(header)
+
+    def write_record(self, record: Dict[str, Any]) -> None:
+        """Write one raw dict as a JSON line (header and marker records)."""
+        if self._fh is None:
+            return
+        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+        self._fh.flush()
 
     def emit(self, event: JobEvent) -> None:
         if self._fh is None:

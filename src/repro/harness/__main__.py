@@ -15,6 +15,8 @@ Usage::
     python -m repro.harness profile [--top N] [--sort KEY] <command...>
     python -m repro.harness report (--trace-file PATH | --benchmark B
                                     --machine M [--label L])
+    python -m repro.harness compare RUN_A RUN_B [--json] [--trace-dir]
+    python -m repro.harness watch TELEMETRY_JSONL [--follow]
 
 ``profile`` wraps any other invocation in cProfile and prints the top-N
 hot functions afterwards, e.g.::
@@ -45,6 +47,17 @@ the cache tag stores, MSHR lifetimes and informing-trap semantics, and a
 violation fails that cell with a structured record instead of silently
 wrong bars.  Results are bit-exact with and without it.  The flag works
 by setting ``REPRO_SANITIZE=1``, which forked pool workers inherit.
+
+Cross-run observatory (see :mod:`repro.perf`): every engine-backed run
+writes ``results/runs/<run_id>/manifest.json`` (git sha, config digest,
+machine fingerprint, per-cell wall + simulated stats) unless
+``--no-manifest``; ``--manifest-dir DIR`` / ``REPRO_RUNS_DIR`` redirect
+the store.  ``compare`` diffs two manifests — simulated statistics are
+digit-exact (drift is a correctness alarm), wall times get bootstrap
+confidence intervals — or two ``BENCH_*.json`` snapshots, or two
+``--trace-dir`` obs artifact directories.  ``watch`` follows a running
+grid's ``--trace`` JSONL live (per-job state, utilization, cache hits,
+throughput, ETA).
 
 ``--trace-events DIR`` turns on the observability layer
 (:mod:`repro.obs`) the same way — it sets ``REPRO_OBS=1`` and
@@ -131,16 +144,24 @@ def _table2() -> str:
     return "\n".join(lines)
 
 
-def _build_engine(args):
+def _build_engine(args, argv=None):
     """One JobRunner per CLI invocation, wired from the engine flags."""
     from repro.exec import ExecOptions, JobRunner
 
+    manifest_dir = None
+    if not args.no_manifest:
+        from repro.perf.manifest import runs_root
+        manifest_dir = runs_root(args.manifest_dir)
     options = ExecOptions(
         jobs=args.jobs,
         cache=not args.no_cache,
         timeout=args.timeout,
         trace_path=args.trace,
         progress=args.progress,
+        manifest_dir=manifest_dir,
+        run_meta={"experiment": args.experiment,
+                  "argv": list(argv) if argv is not None else None,
+                  "seed": args.seed},
     )
     return JobRunner(options)
 
@@ -193,6 +214,11 @@ def main(argv=None) -> int:
                                    "(default BENCH_harness.json)")
     engine_group.add_argument("--no-bench", action="store_true",
                               help="do not update the timing baseline")
+    engine_group.add_argument("--manifest-dir", default=None, metavar="DIR",
+                              help="root for cross-run manifests (default "
+                                   "results/runs or REPRO_RUNS_DIR)")
+    engine_group.add_argument("--no-manifest", action="store_true",
+                              help="do not write a run manifest")
     args = parser.parse_args(argv)
     sizes = _sizes(args.quick)
     if args.jobs < 1:
@@ -211,7 +237,7 @@ def main(argv=None) -> int:
     if args.seed and args.experiment in ("table1", "table2", "figure4",
                                          "sensitivity"):
         parser.error(f"--seed does not apply to {args.experiment}")
-    engine = (_build_engine(args)
+    engine = (_build_engine(args, argv=argv)
               if args.experiment in _ENGINE_EXPERIMENTS else None)
 
     def maybe_export(payload: str) -> None:
@@ -299,6 +325,8 @@ def main(argv=None) -> int:
 
     if engine is not None:
         print(engine.stats.summary())
+        if engine.last_manifest:
+            print(f"run manifest: {engine.last_manifest}")
         if not args.no_bench:
             from repro.exec import DEFAULT_BENCH_PATH, record_run
             bench_path = args.bench or DEFAULT_BENCH_PATH
@@ -337,6 +365,10 @@ def profile_main(argv) -> int:
                      "'profile figure2 --quick'")
     if "--no-bench" not in rest:
         rest.append("--no-bench")
+    if "--no-manifest" not in rest:
+        # Profiled walls include profiler overhead; keep them out of the
+        # cross-run observatory too.
+        rest.append("--no-manifest")
 
     profiler = cProfile.Profile()
     profiler.enable()
@@ -355,14 +387,20 @@ def profile_main(argv) -> int:
 
 
 def dispatch(argv=None) -> int:
-    """Route ``profile``/``report`` to their wrappers, the rest to
-    :func:`main`."""
+    """Route ``profile``/``report``/``compare``/``watch`` to their
+    wrappers, the rest to :func:`main`."""
     argv = sys.argv[1:] if argv is None else list(argv)
     if argv and argv[0] == "profile":
         return profile_main(argv[1:])
     if argv and argv[0] == "report":
         from repro.obs import report_main
         return report_main(argv[1:])
+    if argv and argv[0] == "compare":
+        from repro.perf.compare import compare_main
+        return compare_main(argv[1:])
+    if argv and argv[0] == "watch":
+        from repro.perf.watch import watch_main
+        return watch_main(argv[1:])
     return main(argv)
 
 

@@ -36,9 +36,12 @@ from typing import Optional
 from repro.obs.events import EVENT_KINDS, make_event
 from repro.obs.export import (
     chrome_trace,
+    parse_openmetrics,
     read_jsonl,
+    to_openmetrics,
     write_chrome_trace,
     write_jsonl,
+    write_openmetrics,
     write_run_artifacts,
 )
 from repro.obs.metrics import Counter, Histogram, Registry, top_n
@@ -64,13 +67,16 @@ __all__ = [
     "maybe_observer",
     "obs_enabled",
     "obs_trace_dir",
+    "parse_openmetrics",
     "read_jsonl",
     "render_report",
     "report_main",
     "summarize",
+    "to_openmetrics",
     "top_n",
     "write_chrome_trace",
     "write_jsonl",
+    "write_openmetrics",
     "write_run_artifacts",
 ]
 

@@ -44,14 +44,26 @@ def write_jsonl(events: Iterable[Dict[str, Any]], path: str) -> str:
     return path
 
 
-def read_jsonl(path: str) -> List[Dict[str, Any]]:
-    """Load a JSONL trace back into the in-memory event-list form."""
+def read_jsonl(path: str, strict: bool = False) -> List[Dict[str, Any]]:
+    """Load a JSONL trace back into the in-memory event-list form.
+
+    A run killed mid-write leaves a truncated (or, over NFS, garbled)
+    final line; by default such lines are skipped so the surviving
+    prefix stays loadable.  ``strict=True`` raises ``ValueError`` on the
+    first corrupt line instead, for callers that would rather know.
+    """
     events = []
     with open(path) as fh:
-        for line in fh:
+        for number, line in enumerate(fh, start=1):
             line = line.strip()
-            if line:
+            if not line:
+                continue
+            try:
                 events.append(json.loads(line))
+            except ValueError:
+                if strict:
+                    raise ValueError(
+                        f"{path}:{number}: corrupt JSONL line") from None
     return events
 
 
@@ -101,6 +113,126 @@ def write_chrome_trace(events: Iterable[Dict[str, Any]], path: str,
     with open(path, "w") as fh:
         json.dump(chrome_trace(events, process_name), fh)
     return path
+
+
+# -- OpenMetrics / Prometheus -------------------------------------------------
+
+def _om_name(name: str, prefix: str) -> str:
+    """Sanitize a registry name into an OpenMetrics metric name."""
+    safe = "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+    return prefix + safe
+
+
+def _om_payload(metrics) -> Dict[str, Any]:
+    """Accept a Registry or its ``to_dict()`` payload."""
+    return metrics if isinstance(metrics, dict) else metrics.to_dict()
+
+
+def to_openmetrics(metrics, prefix: str = "repro_") -> str:
+    """Render a metrics registry as OpenMetrics (Prometheus) text.
+
+    Counters become ``<name>_total``; histograms keep their power-of-two
+    bucketing as cumulative ``le`` edges (bucket with lower bound ``lo``
+    holds integer values up to ``2*lo - 1``), plus ``_sum``/``_count``
+    and ``_min``/``_max`` gauges so the exposition is lossless (see
+    :func:`parse_openmetrics`).  Dots and other non-identifier
+    characters in registry names become underscores.  Ends with the
+    mandatory ``# EOF`` terminator.
+    """
+    payload = _om_payload(metrics)
+    lines: List[str] = []
+    for name, value in sorted(payload.get("counters", {}).items()):
+        metric = _om_name(name, prefix)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric}_total {value}")
+    for name, hist in sorted(payload.get("histograms", {}).items()):
+        metric = _om_name(name, prefix)
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        for lo_str, count in sorted(hist.get("buckets", {}).items(),
+                                    key=lambda kv: int(kv[0])):
+            lo = int(lo_str)
+            le = 0 if lo == 0 else 2 * lo - 1
+            cumulative += count
+            lines.append(f'{metric}_bucket{{le="{le}"}} {cumulative}')
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {hist.get("count", 0)}')
+        lines.append(f"{metric}_sum {hist.get('total', 0)}")
+        lines.append(f"{metric}_count {hist.get('count', 0)}")
+        for bound in ("min", "max"):
+            if hist.get(bound) is not None:
+                gauge = f"{metric}_{bound}"
+                lines.append(f"# TYPE {gauge} gauge")
+                lines.append(f"{gauge} {hist[bound]}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def write_openmetrics(metrics, path: str, prefix: str = "repro_") -> str:
+    """Write the OpenMetrics exposition for *metrics*; return *path*."""
+    with open(path, "w") as fh:
+        fh.write(to_openmetrics(metrics, prefix))
+    return path
+
+
+def parse_openmetrics(text: str, prefix: str = "repro_") -> Dict[str, Any]:
+    """Parse :func:`to_openmetrics` output back into registry-dict form.
+
+    Returns ``{"counters": {...}, "histograms": {...}}`` with the
+    *sanitized* metric names (the exposition does not keep the original
+    dots); histogram dicts regain ``buckets``/``count``/``total``/
+    ``mean``/``min``/``max``, so a round trip through the exporter
+    preserves every number the registry held.
+    """
+    counters: Dict[str, int] = {}
+    hists: Dict[str, Dict[str, Any]] = {}
+    minmax: Dict[str, Dict[str, int]] = {}
+
+    def _strip(name: str) -> str:
+        return name[len(prefix):] if name.startswith(prefix) else name
+
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        name, _, value_str = line.partition(" ")
+        value = float(value_str) if "." in value_str else int(value_str)
+        if "{" in name:
+            metric, _, label = name.partition("{")
+            if not metric.endswith("_bucket"):
+                continue
+            base = _strip(metric[:-len("_bucket")])
+            le = label.split('"')[1]
+            hist = hists.setdefault(base, {"buckets": {}, "count": 0,
+                                           "total": 0})
+            if le == "+Inf":
+                continue  # count comes from _count
+            lo = 0 if le == "0" else (int(le) + 1) // 2
+            hist["buckets"][str(lo)] = value  # cumulative; fixed up below
+        elif name.endswith("_sum"):
+            hists.setdefault(_strip(name[:-4]),
+                             {"buckets": {}, "count": 0})["total"] = value
+        elif name.endswith("_count"):
+            hists.setdefault(_strip(name[:-6]),
+                             {"buckets": {}, "total": 0})["count"] = value
+        elif name.endswith("_min") or name.endswith("_max"):
+            base, bound = _strip(name[:-4]), name[-3:]
+            minmax.setdefault(base, {})[bound] = value
+        elif name.endswith("_total"):
+            counters[_strip(name[:-6])] = value
+    for base, hist in hists.items():
+        cumulative = sorted(((int(lo), n) for lo, n in
+                             hist["buckets"].items()))
+        previous = 0
+        buckets = {}
+        for lo, running in cumulative:
+            buckets[str(lo)] = running - previous
+            previous = running
+        hist["buckets"] = buckets
+        count = hist.get("count", 0)
+        hist["mean"] = round(hist.get("total", 0) / count, 3) if count else 0.0
+        hist["min"] = minmax.get(base, {}).get("min")
+        hist["max"] = minmax.get(base, {}).get("max")
+    return {"counters": counters, "histograms": hists}
 
 
 # -- per-run artifacts --------------------------------------------------------

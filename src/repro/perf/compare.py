@@ -1,0 +1,404 @@
+"""``python -m repro.harness compare A B`` — diff two recorded runs.
+
+Three comparison modes, picked from what A and B actually are:
+
+* **manifest mode** — A/B are run ids under ``results/runs`` (or run
+  directories, or ``manifest.json`` paths).  Simulated statistics are
+  compared **digit-exact**: the simulators are deterministic, so any
+  drift between equal-config runs is a correctness alarm, never noise.
+  Wall times get the opposite treatment — per-cell wall ratios are
+  resampled (bootstrap over the repeated cells) into a confidence
+  interval, and a delta whose CI straddles 1.0 is classified
+  ``no change`` rather than eyeballed.
+* **bench mode** — A/B are ``BENCH_harness.json`` / ``BENCH_hotpath.json``
+  style snapshot files; named scalar timings are compared as ratios
+  against ``--warn-above`` / ``--fail-above`` thresholds (the perf-gate
+  CI job runs exactly this against fresh microbenchmark timings).
+* **trace mode** (``--trace-dir``) — A/B are ``repro.obs`` artifact
+  directories; per-cell ``*.metrics.json`` payloads are compared
+  digit-exact.
+
+Exit status: 0 when nothing regressed (warnings included), 1 on any
+simulated-stat drift or a wall regression at/above ``--fail-above``,
+2 on usage/schema errors.  ``--json`` emits the full machine-readable
+report instead of text.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.perf.manifest import (
+    MANIFEST_KIND,
+    ManifestError,
+    load_manifest,
+    resolve_manifest_path,
+)
+
+#: Default noise thresholds on wall-time ratios (B over A).
+DEFAULT_FAIL_ABOVE = 1.25
+DEFAULT_WARN_ABOVE = 1.10
+
+#: Bench snapshot schemas this build understands, by discriminator key.
+_BENCH_SCHEMAS = {"experiments": 2, "microbenchmarks": 1}
+
+#: Verdicts that carry exit status 1.
+FAILING_VERDICTS = ("regression", "sim drift")
+
+
+# -- statistics ---------------------------------------------------------------
+
+def bootstrap_ci(samples: Sequence[float], resamples: int = 2000,
+                 seed: int = 1234, confidence: float = 0.95
+                 ) -> Tuple[float, float, float]:
+    """(mean, ci_lo, ci_hi) of *samples* via a seeded percentile bootstrap.
+
+    Deterministic for a given seed, so test runs and CI retries agree.
+    With a single sample the interval degenerates to the point.
+    """
+    k = len(samples)
+    if k == 0:
+        raise ValueError("bootstrap_ci needs at least one sample")
+    mean = sum(samples) / k
+    if k == 1:
+        return mean, samples[0], samples[0]
+    rng = random.Random(seed)
+    means = sorted(
+        sum(rng.choice(samples) for _ in range(k)) / k
+        for _ in range(resamples))
+    alpha = (1.0 - confidence) / 2.0
+    lo = means[int(alpha * (resamples - 1))]
+    hi = means[int((1.0 - alpha) * (resamples - 1))]
+    return mean, lo, hi
+
+
+def classify_ratio(mean: float, lo: float, hi: float,
+                   fail_above: float = DEFAULT_FAIL_ABOVE,
+                   warn_above: float = DEFAULT_WARN_ABOVE) -> str:
+    """Noise-aware verdict for a wall-time ratio with its bootstrap CI."""
+    if lo <= 1.0 <= hi:
+        return "no change"
+    if mean >= fail_above:
+        return "regression"
+    if mean >= warn_above:
+        return "warn"
+    return "faster" if mean < 1.0 else "slower (within threshold)"
+
+
+# -- input resolution ---------------------------------------------------------
+
+def _load_side(ref: str, root: Optional[str]) -> Tuple[str, Dict[str, Any]]:
+    """Classify one positional as ('manifest'|'bench', payload)."""
+    if os.path.isfile(ref) and not ref.endswith(os.sep + "manifest.json") \
+            and os.path.basename(ref) != "manifest.json":
+        with open(ref) as fh:
+            try:
+                data = json.load(fh)
+            except ValueError as exc:
+                raise ManifestError(f"{ref} is not valid JSON: {exc}")
+        if data.get("kind") == MANIFEST_KIND:
+            return "manifest", load_manifest(ref, root)
+        for key, schema in _BENCH_SCHEMAS.items():
+            if key in data:
+                if data.get("schema") != schema:
+                    raise ManifestError(
+                        f"{ref} has bench schema {data.get('schema')!r}; "
+                        f"expected {schema} for a file with {key!r}")
+                return "bench", data
+        raise ManifestError(
+            f"{ref} is neither a run manifest nor a recognised BENCH file")
+    return "manifest", load_manifest(ref, root)
+
+
+# -- manifest mode ------------------------------------------------------------
+
+def _cells_by_label(manifest: Dict[str, Any]) -> Dict[str, Dict[str, Any]]:
+    return {cell["label"]: cell for cell in manifest.get("cells", [])}
+
+
+def compare_manifests(a: Dict[str, Any], b: Dict[str, Any],
+                      fail_above: float = DEFAULT_FAIL_ABOVE,
+                      warn_above: float = DEFAULT_WARN_ABOVE,
+                      resamples: int = 2000, seed: int = 1234
+                      ) -> Dict[str, Any]:
+    """The manifest-mode report dict (see the module docstring)."""
+    cells_a, cells_b = _cells_by_label(a), _cells_by_label(b)
+    common = [label for label in cells_a if label in cells_b]
+    notes: List[str] = []
+    if a.get("config_digest") != b.get("config_digest"):
+        notes.append("config digests differ: the runs did not simulate "
+                     "the same grid; stats compared for matching labels "
+                     "only")
+    only_a = sorted(set(cells_a) - set(cells_b))
+    only_b = sorted(set(cells_b) - set(cells_a))
+    if only_a:
+        notes.append(f"{len(only_a)} cell(s) only in A "
+                     f"(e.g. {only_a[0]})")
+    if only_b:
+        notes.append(f"{len(only_b)} cell(s) only in B "
+                     f"(e.g. {only_b[0]})")
+
+    # Digit-exact simulated statistics: any difference is drift.
+    drift: List[Dict[str, Any]] = []
+    for label in common:
+        sim_a = cells_a[label].get("sim")
+        sim_b = cells_b[label].get("sim")
+        if sim_a == sim_b:
+            continue
+        if sim_a is None or sim_b is None:
+            drift.append({"label": label, "field": "sim",
+                          "a": sim_a, "b": sim_b})
+            continue
+        for field in sorted(set(sim_a) | set(sim_b)):
+            if sim_a.get(field) != sim_b.get(field):
+                drift.append({"label": label, "field": field,
+                              "a": sim_a.get(field),
+                              "b": sim_b.get(field)})
+
+    # Noise-aware wall-time deltas over the executed (non-cache-hit)
+    # cells present in both runs.
+    ratios: List[float] = []
+    by_benchmark: Dict[str, List[float]] = {}
+    for label in common:
+        cell_a, cell_b = cells_a[label], cells_b[label]
+        wall_a, wall_b = cell_a.get("wall"), cell_b.get("wall")
+        if not wall_a or not wall_b:
+            continue
+        if cell_a.get("cache") == "hit" or cell_b.get("cache") == "hit":
+            continue
+        ratio = wall_b / wall_a
+        ratios.append(ratio)
+        by_benchmark.setdefault(cell_a.get("benchmark", "?"),
+                                []).append(ratio)
+
+    def _summary(samples: List[float]) -> Optional[Dict[str, Any]]:
+        if not samples:
+            return None
+        mean, lo, hi = bootstrap_ci(samples, resamples=resamples, seed=seed)
+        return {"cells": len(samples), "ratio": round(mean, 4),
+                "ci": [round(lo, 4), round(hi, 4)],
+                "verdict": classify_ratio(mean, lo, hi, fail_above,
+                                          warn_above)}
+
+    wall = {
+        "overall": _summary(ratios),
+        "benchmarks": {name: _summary(samples)
+                       for name, samples in sorted(by_benchmark.items())},
+    }
+    verdicts = [entry["verdict"] for entry in
+                [wall["overall"], *wall["benchmarks"].values()] if entry]
+    if drift:
+        overall = "sim drift"
+    elif any(v == "regression" for v in verdicts):
+        overall = "regression"
+    elif any(v == "warn" for v in verdicts):
+        overall = "warn"
+    else:
+        overall = "ok"
+    return {
+        "mode": "manifest",
+        "a": {"run_id": a.get("run_id"), "git_sha": a.get("git_sha"),
+              "experiment": a.get("experiment")},
+        "b": {"run_id": b.get("run_id"), "git_sha": b.get("git_sha"),
+              "experiment": b.get("experiment")},
+        "compared_cells": len(common),
+        "sim_drift": drift,
+        "wall": wall,
+        "notes": notes,
+        "verdict": overall,
+    }
+
+
+# -- bench mode ---------------------------------------------------------------
+
+def _bench_timings(data: Dict[str, Any]) -> Dict[str, float]:
+    """Flatten a BENCH snapshot into ``name -> seconds``."""
+    timings: Dict[str, float] = {}
+    micro = data.get("microbenchmarks", {}).get("timings", {})
+    for name, seconds in micro.items():
+        timings[f"micro/{name}"] = seconds
+    for experiment, slots in data.get("experiments", {}).items():
+        for temperature, entry in slots.items():
+            wall = entry.get("wall_seconds")
+            if wall is not None:
+                timings[f"{experiment}/{temperature}"] = wall
+    return timings
+
+
+def compare_bench(a: Dict[str, Any], b: Dict[str, Any],
+                  fail_above: float = DEFAULT_FAIL_ABOVE,
+                  warn_above: float = DEFAULT_WARN_ABOVE) -> Dict[str, Any]:
+    """Bench-mode report: single-sample timing ratios vs thresholds."""
+    timings_a, timings_b = _bench_timings(a), _bench_timings(b)
+    rows: List[Dict[str, Any]] = []
+    notes: List[str] = []
+    for name in sorted(set(timings_a) | set(timings_b)):
+        if name not in timings_a or name not in timings_b:
+            notes.append(f"{name} present in only one snapshot; skipped")
+            continue
+        ta, tb = timings_a[name], timings_b[name]
+        if not ta:
+            notes.append(f"{name} has a zero baseline; skipped")
+            continue
+        ratio = tb / ta
+        if ratio >= fail_above:
+            verdict = "regression"
+        elif ratio >= warn_above:
+            verdict = "warn"
+        elif ratio <= 1.0:
+            verdict = "faster"
+        else:
+            verdict = "ok"
+        rows.append({"name": name, "a": ta, "b": tb,
+                     "ratio": round(ratio, 4), "verdict": verdict})
+    if any(row["verdict"] == "regression" for row in rows):
+        overall = "regression"
+    elif any(row["verdict"] == "warn" for row in rows):
+        overall = "warn"
+    else:
+        overall = "ok"
+    return {"mode": "bench", "timings": rows, "notes": notes,
+            "verdict": overall}
+
+
+# -- trace mode ---------------------------------------------------------------
+
+def compare_trace_dirs(dir_a: str, dir_b: str) -> Dict[str, Any]:
+    """Digit-exact diff of two repro.obs artifact directories."""
+    def _metrics(directory: str) -> Dict[str, Dict[str, Any]]:
+        out: Dict[str, Dict[str, Any]] = {}
+        try:
+            names = sorted(os.listdir(directory))
+        except OSError as exc:
+            raise ManifestError(f"cannot list {directory}: {exc}")
+        for name in names:
+            if not name.endswith(".metrics.json"):
+                continue
+            with open(os.path.join(directory, name)) as fh:
+                out[name[:-len(".metrics.json")]] = json.load(fh)
+        return out
+
+    cells_a, cells_b = _metrics(dir_a), _metrics(dir_b)
+    notes = [f"{stem} present in only one directory; skipped"
+             for stem in sorted(set(cells_a) ^ set(cells_b))]
+    drift: List[Dict[str, Any]] = []
+    common = sorted(set(cells_a) & set(cells_b))
+    for stem in common:
+        for section in ("metrics", "conflict_heat", "mshr_timeline",
+                        "events"):
+            if cells_a[stem].get(section) != cells_b[stem].get(section):
+                drift.append({"label": stem, "field": section,
+                              "a": cells_a[stem].get(section),
+                              "b": cells_b[stem].get(section)})
+    return {"mode": "trace", "compared_cells": len(common),
+            "sim_drift": drift, "notes": notes,
+            "verdict": "sim drift" if drift else "ok"}
+
+
+# -- rendering ----------------------------------------------------------------
+
+def render_compare(report: Dict[str, Any], ref_a: str, ref_b: str) -> str:
+    lines = [f"compare — {ref_a} vs {ref_b}  [{report['mode']} mode]"]
+    for note in report.get("notes", []):
+        lines.append(f"  note: {note}")
+    drift = report.get("sim_drift")
+    if drift is not None:
+        lines.append(f"  simulated stats: "
+                     + (f"{len(drift)} DRIFTING field(s) — correctness "
+                        f"alarm" if drift else
+                        f"digit-exact over "
+                        f"{report.get('compared_cells', 0)} cell(s)"))
+        for row in drift[:20]:
+            lines.append(f"    {row['label']}.{row['field']}: "
+                         f"{row['a']!r} -> {row['b']!r}")
+        if len(drift) > 20:
+            lines.append(f"    ... and {len(drift) - 20} more")
+    wall = report.get("wall")
+    if wall and wall.get("overall"):
+        overall = wall["overall"]
+        lines.append(
+            f"  wall time: ratio {overall['ratio']:.3f} "
+            f"(95% CI [{overall['ci'][0]:.3f}, {overall['ci'][1]:.3f}] "
+            f"over {overall['cells']} cells) — {overall['verdict']}")
+        for name, entry in wall["benchmarks"].items():
+            if entry is None:
+                continue
+            lines.append(
+                f"    {name:<12} ratio {entry['ratio']:.3f} "
+                f"CI [{entry['ci'][0]:.3f}, {entry['ci'][1]:.3f}] "
+                f"({entry['cells']} cells) — {entry['verdict']}")
+    for row in report.get("timings", []):
+        lines.append(f"    {row['name']:<28} {row['a']:.4f}s -> "
+                     f"{row['b']:.4f}s  x{row['ratio']:.3f}  "
+                     f"{row['verdict']}")
+    lines.append(f"  verdict: {report['verdict'].upper()}")
+    return "\n".join(lines)
+
+
+# -- CLI ----------------------------------------------------------------------
+
+def compare_main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness compare",
+        description="Diff two recorded runs: digit-exact on simulated "
+                    "statistics, bootstrap-CI noise analysis on wall "
+                    "times.")
+    parser.add_argument("a", metavar="RUN_A",
+                        help="run id, run directory, manifest.json, or "
+                             "BENCH_*.json snapshot")
+    parser.add_argument("b", metavar="RUN_B", help="same, the candidate")
+    parser.add_argument("--trace-dir", action="store_true",
+                        help="treat RUN_A/RUN_B as repro.obs artifact "
+                             "directories and diff their *.metrics.json "
+                             "digit-exact")
+    parser.add_argument("--runs-root", default=None, metavar="DIR",
+                        help="manifest root for bare run ids (default "
+                             "results/runs or REPRO_RUNS_DIR)")
+    parser.add_argument("--fail-above", type=float,
+                        default=DEFAULT_FAIL_ABOVE, metavar="R",
+                        help="wall ratio at/above which the verdict is a "
+                             "failing regression (default 1.25)")
+    parser.add_argument("--warn-above", type=float,
+                        default=DEFAULT_WARN_ABOVE, metavar="R",
+                        help="wall ratio at/above which to warn "
+                             "(default 1.10)")
+    parser.add_argument("--resamples", type=int, default=2000,
+                        help="bootstrap resamples (default 2000)")
+    parser.add_argument("--bootstrap-seed", type=int, default=1234,
+                        help="bootstrap RNG seed (default 1234)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the machine-readable report")
+    args = parser.parse_args(argv)
+
+    try:
+        if args.trace_dir:
+            report = compare_trace_dirs(args.a, args.b)
+        else:
+            mode_a, data_a = _load_side(args.a, args.runs_root)
+            mode_b, data_b = _load_side(args.b, args.runs_root)
+            if mode_a != mode_b:
+                raise ManifestError(
+                    f"cannot compare a {mode_a} against a {mode_b}; pass "
+                    f"two manifests or two BENCH snapshots")
+            if mode_a == "bench":
+                report = compare_bench(data_a, data_b,
+                                       fail_above=args.fail_above,
+                                       warn_above=args.warn_above)
+            else:
+                report = compare_manifests(
+                    data_a, data_b, fail_above=args.fail_above,
+                    warn_above=args.warn_above, resamples=args.resamples,
+                    seed=args.bootstrap_seed)
+    except ManifestError as exc:
+        print(f"compare: error: {exc}")
+        return 2
+
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(render_compare(report, args.a, args.b))
+    return 1 if report["verdict"] in FAILING_VERDICTS else 0

@@ -1,0 +1,90 @@
+"""The append-only bench trajectory: ``BENCH_trajectory.jsonl``.
+
+``BENCH_harness.json`` / ``BENCH_hotpath.json`` are *snapshots* — each
+slot holds only the most recent run, so the history that would reveal a
+slow drift (or pinpoint the commit that caused a cliff) used to be
+thrown away.  The trajectory keeps it: every recorded bench run appends
+exactly one JSON line — experiment, temperature, wall, cache
+accounting, git sha, timestamp — and nothing ever rewrites previous
+lines.  ``repro.perf.compare`` and ad-hoc scripts can then plot or diff
+the whole history.
+
+Lines are self-describing (``schema`` field) and the reader skips
+corrupt or truncated lines instead of dying: an interrupted append
+costs one line, not the file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+TRAJECTORY_SCHEMA = 1
+DEFAULT_TRAJECTORY_NAME = "BENCH_trajectory.jsonl"
+
+#: Snapshot-entry fields worth carrying into the trajectory line.
+_CARRIED_FIELDS = (
+    "temperature", "wall_seconds", "mean_job_seconds", "jobs", "executed",
+    "finished", "failed", "retries", "cache_hits", "cache_misses",
+    "cache_hit_rate", "workers", "timestamp",
+)
+
+
+def trajectory_path_for(bench_path) -> str:
+    """The trajectory file that rides along a given BENCH_*.json path."""
+    return str(Path(bench_path).parent / DEFAULT_TRAJECTORY_NAME)
+
+
+def append_trajectory(path, entry: Dict[str, Any]) -> Dict[str, Any]:
+    """Append one record (plus the schema tag) as a JSON line."""
+    record = dict(entry)
+    record.setdefault("schema", TRAJECTORY_SCHEMA)
+    path = Path(path)
+    if path.parent and not path.parent.exists():
+        os.makedirs(str(path.parent), exist_ok=True)
+    with open(path, "a") as fh:
+        fh.write(json.dumps(record, sort_keys=True) + "\n")
+    return record
+
+
+def append_bench_run(bench_path, experiment: str,
+                     entry: Dict[str, Any]) -> Dict[str, Any]:
+    """Trajectory line for one :func:`repro.exec.record_run` entry."""
+    from repro.exec.telemetry import git_sha
+
+    record: Dict[str, Any] = {"experiment": experiment,
+                              "git_sha": git_sha()}
+    for field in _CARRIED_FIELDS:
+        if field in entry:
+            record[field] = entry[field]
+    return append_trajectory(trajectory_path_for(bench_path), record)
+
+
+def read_trajectory(path, experiment: Optional[str] = None
+                    ) -> List[Dict[str, Any]]:
+    """Load trajectory lines, oldest first, skipping corrupt lines.
+
+    *experiment* filters to one experiment's history.  A missing file is
+    an empty history, matching "no runs recorded yet".
+    """
+    records: List[Dict[str, Any]] = []
+    try:
+        fh = open(path)
+    except OSError:
+        return records
+    with fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue  # truncated append; lose the line, not the file
+            if not isinstance(record, dict):
+                continue
+            if experiment is None or record.get("experiment") == experiment:
+                records.append(record)
+    return records

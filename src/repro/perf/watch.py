@@ -1,0 +1,352 @@
+"""``python -m repro.harness watch telemetry.jsonl`` — live grid monitor.
+
+The exec engine's ``--trace PATH`` stream is append-only JSONL with a
+self-describing :data:`~repro.exec.telemetry.RUN_HEADER` first record.
+``watch`` follows that file while a grid runs — from another terminal,
+over NFS, wherever — and renders per-job state, worker utilization,
+cache-hit ratio, throughput and an ETA without touching the run itself.
+
+All derived numbers come from the **event timestamps in the stream**,
+never from the watcher's own clock, so replaying a recorded stream
+(the default when ``--follow`` is not given) produces the exact same
+panel every time — which is how the tests pin this code down.
+
+Streams whose header declares an unknown schema version are rejected
+with a clear error (exit 2); headerless streams from pre-header builds
+are tolerated with a note.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.exec.telemetry import (
+    CACHE_HIT,
+    FAILED,
+    FINISHED,
+    POOL_BROKEN,
+    QUEUED,
+    RETRIED,
+    RUN_HEADER,
+    STARTED,
+    TELEMETRY_SCHEMA,
+)
+
+#: Job states, in lifecycle order.
+ST_QUEUED = "queued"
+ST_RUNNING = "running"
+ST_DONE = "done"
+ST_FAILED = "failed"
+ST_CACHED = "cached"
+
+
+class WatchError(ValueError):
+    """The stream cannot be followed (unknown schema, unreadable file)."""
+
+
+class TelemetryFollower:
+    """Incremental reducer of a telemetry JSONL stream.
+
+    Feed it lines (complete or not — partial trailing lines are buffered
+    until their newline arrives) and ask for :meth:`snapshot` /
+    :meth:`render` at any point.  Corrupt lines are counted and skipped,
+    so a stream truncated by a dying run stays watchable.
+    """
+
+    def __init__(self) -> None:
+        self.header: Optional[Dict[str, Any]] = None
+        #: Sum of the per-grid ``jobs`` counts: a multi-grid experiment
+        #: (``sensitivity``) writes one header per grid into one stream.
+        self.header_jobs = 0
+        self.jobs: Dict[str, Dict[str, Any]] = {}
+        self.order: List[str] = []
+        self.retries = 0
+        self.pool_breaks = 0
+        self.corrupt_lines = 0
+        self.first_ts: Optional[float] = None
+        self.last_ts: Optional[float] = None
+        self.last_label: Optional[str] = None
+        self._records = 0
+        self._partial = ""
+
+    # -- ingestion -----------------------------------------------------------
+    def feed_text(self, text: str) -> None:
+        """Consume a chunk of the file (any split is fine)."""
+        self._partial += text
+        while "\n" in self._partial:
+            line, self._partial = self._partial.split("\n", 1)
+            self.feed_line(line)
+
+    def feed_line(self, line: str) -> None:
+        line = line.strip()
+        if not line:
+            return
+        try:
+            record = json.loads(line)
+        except ValueError:
+            self.corrupt_lines += 1
+            return
+        if not isinstance(record, dict) or "event" not in record:
+            self.corrupt_lines += 1
+            return
+        self._apply(record)
+
+    def _apply(self, record: Dict[str, Any]) -> None:
+        kind = record["event"]
+        if kind == RUN_HEADER:
+            schema = record.get("schema")
+            if schema != TELEMETRY_SCHEMA:
+                raise WatchError(
+                    f"telemetry stream declares schema {schema!r}; this "
+                    f"build understands schema {TELEMETRY_SCHEMA} — "
+                    f"regenerate the trace or upgrade")
+            if self.header is None:
+                self.header = record
+            self.header_jobs += record.get("jobs") or 0
+            return
+        self._records += 1
+        ts = record.get("timestamp")
+        if isinstance(ts, (int, float)):
+            if self.first_ts is None:
+                self.first_ts = ts
+            self.last_ts = ts
+        key = record.get("key")
+        if key is None:
+            return
+        job = self.jobs.get(key)
+        if job is None:
+            job = self.jobs[key] = {"label": record.get("label"),
+                                    "state": ST_QUEUED, "wall": None,
+                                    "attempts": 0, "error": None}
+            self.order.append(key)
+        if kind == QUEUED:
+            pass
+        elif kind == STARTED:
+            job["state"] = ST_RUNNING
+            job["attempts"] = max(job["attempts"], record.get("attempt", 0))
+        elif kind == CACHE_HIT:
+            job["state"] = ST_CACHED
+        elif kind == FINISHED:
+            if job["state"] != ST_CACHED:
+                job["state"] = ST_DONE
+            job["wall"] = record.get("wall")
+            self.last_label = job["label"]
+        elif kind == FAILED:
+            job["state"] = ST_FAILED
+            job["error"] = record.get("error")
+            self.last_label = job["label"]
+        elif kind == RETRIED:
+            self.retries += 1
+        elif kind == POOL_BROKEN:
+            self.pool_breaks += 1
+
+    # -- derived state -------------------------------------------------------
+    def _count(self, state: str) -> int:
+        return sum(1 for job in self.jobs.values() if job["state"] == state)
+
+    @property
+    def total(self) -> int:
+        if self.header_jobs:
+            return max(self.header_jobs, len(self.jobs))
+        return len(self.jobs)
+
+    @property
+    def complete(self) -> bool:
+        """Every known job reached a terminal state (and any job exists)."""
+        if not self.jobs or len(self.jobs) < self.total:
+            return False
+        return all(job["state"] in (ST_DONE, ST_FAILED, ST_CACHED)
+                   for job in self.jobs.values())
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The panel's numbers, derived purely from stream timestamps."""
+        done = self._count(ST_DONE)
+        cached = self._count(ST_CACHED)
+        failed = self._count(ST_FAILED)
+        running = self._count(ST_RUNNING)
+        finished = done + cached
+        lookups = len(self.jobs)
+        walls = [job["wall"] for job in self.jobs.values()
+                 if job["state"] == ST_DONE and job["wall"]]
+        elapsed = ((self.last_ts - self.first_ts)
+                   if self.first_ts is not None and self.last_ts is not None
+                   else 0.0)
+        workers = (self.header or {}).get("workers") or 1
+        mean_wall = sum(walls) / len(walls) if walls else 0.0
+        remaining = max(self.total - finished - failed, 0)
+        eta = (remaining * mean_wall / workers) if mean_wall else None
+        throughput = ((finished + failed) / elapsed) if elapsed > 0 else None
+        utilization = (min(sum(walls) / (elapsed * workers), 1.0)
+                       if elapsed > 0 and walls else None)
+        return {
+            "schema": (self.header or {}).get("schema"),
+            "git_sha": (self.header or {}).get("git_sha"),
+            "experiment": (self.header or {}).get("experiment"),
+            "workers": workers,
+            "total": self.total,
+            "queued": self._count(ST_QUEUED),
+            "running": running,
+            "done": done,
+            "cached": cached,
+            "failed": failed,
+            "retries": self.retries,
+            "pool_breaks": self.pool_breaks,
+            "corrupt_lines": self.corrupt_lines,
+            "cache_hit_ratio": (cached / lookups) if lookups else 0.0,
+            "elapsed": round(elapsed, 4),
+            "mean_wall": round(mean_wall, 4),
+            "throughput": (round(throughput, 4)
+                           if throughput is not None else None),
+            "eta": round(eta, 4) if eta is not None else None,
+            "utilization": (round(utilization, 4)
+                            if utilization is not None else None),
+            "complete": self.complete,
+            "last_label": self.last_label,
+        }
+
+    # -- rendering -----------------------------------------------------------
+    def status_line(self) -> str:
+        """One-line live view (the ``--follow`` refresh)."""
+        snap = self.snapshot()
+        finished = snap["done"] + snap["cached"]
+        bits = [f"[{finished + snap['failed']}/{snap['total']}]",
+                f"run {snap['running']}",
+                f"hit {snap['cached']}"]
+        if snap["failed"]:
+            bits.append(f"FAILED {snap['failed']}")
+        if snap["throughput"] is not None:
+            bits.append(f"{snap['throughput']:.2f} jobs/s")
+        if snap["eta"] is not None:
+            bits.append(f"eta ~{snap['eta']:.1f}s")
+        if snap["last_label"]:
+            bits.append(snap["last_label"])
+        return " ".join(bits)
+
+    def render(self, jobs_detail: int = 0) -> str:
+        """The multi-line panel (replay mode / final screen)."""
+        snap = self.snapshot()
+        head = ["watch — "
+                + (f"{snap['experiment']} " if snap["experiment"] else "")
+                + f"{snap['total']} jobs, {snap['workers']} worker(s)"]
+        if self.header is None:
+            head.append("  note: headerless (pre-schema) stream")
+        else:
+            sha = snap["git_sha"] or "unknown"
+            head.append(f"  schema {snap['schema']}, git {sha[:12]}")
+        if snap["corrupt_lines"]:
+            head.append(f"  note: skipped {snap['corrupt_lines']} "
+                        f"corrupt line(s)")
+        finished = snap["done"] + snap["cached"]
+        head.append(
+            f"  state       {finished} finished "
+            f"({snap['cached']} cache hits, "
+            f"{100.0 * snap['cache_hit_ratio']:.0f}% hit ratio), "
+            f"{snap['failed']} failed, {snap['running']} running, "
+            f"{snap['queued']} queued")
+        if snap["retries"] or snap["pool_breaks"]:
+            head.append(f"  recoveries  {snap['retries']} retries, "
+                        f"{snap['pool_breaks']} pool break(s)")
+        line = f"  timing      {snap['elapsed']:.2f}s elapsed"
+        if snap["mean_wall"]:
+            line += f", {snap['mean_wall']:.3f}s mean/job"
+        if snap["throughput"] is not None:
+            line += f", {snap['throughput']:.2f} jobs/s"
+        head.append(line)
+        extras = []
+        if snap["utilization"] is not None:
+            extras.append(f"utilization {100.0 * snap['utilization']:.0f}%")
+        if snap["eta"] is not None:
+            extras.append(f"eta ~{snap['eta']:.1f}s")
+        extras.append("complete" if snap["complete"] else "in progress")
+        head.append("  status      " + ", ".join(extras))
+        if jobs_detail:
+            head.append("  jobs:")
+            for key in self.order[:jobs_detail]:
+                job = self.jobs[key]
+                wall = (f" {job['wall']:.3f}s" if job["wall"] else "")
+                err = f" ({job['error']})" if job["error"] else ""
+                head.append(f"    {job['state']:<8} {job['label']}"
+                            f"{wall}{err}")
+            hidden = len(self.order) - jobs_detail
+            if hidden > 0:
+                head.append(f"    ... and {hidden} more")
+        return "\n".join(head)
+
+
+def replay(path: str) -> TelemetryFollower:
+    """Reduce an entire recorded stream; deterministic for a given file."""
+    follower = TelemetryFollower()
+    try:
+        with open(path) as fh:
+            follower.feed_text(fh.read())
+    except OSError as exc:
+        raise WatchError(f"cannot read {path}: {exc}")
+    return follower
+
+
+def follow(path: str, interval: float = 0.5,
+           timeout: Optional[float] = None, stream=None,
+           _sleep=time.sleep) -> TelemetryFollower:
+    """Tail *path* until the run completes (or *timeout* seconds pass)."""
+    out = stream if stream is not None else sys.stderr
+    follower = TelemetryFollower()
+    deadline = (time.monotonic() + timeout) if timeout else None
+    try:
+        fh = open(path)
+    except OSError as exc:
+        raise WatchError(f"cannot read {path}: {exc}")
+    with fh:
+        while True:
+            chunk = fh.read()
+            if chunk:
+                follower.feed_text(chunk)
+            out.write(f"\r{follower.status_line():<78}")
+            out.flush()
+            if follower.complete:
+                break
+            if deadline is not None and time.monotonic() >= deadline:
+                break
+            _sleep(interval)
+    out.write("\n")
+    return follower
+
+
+def watch_main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness watch",
+        description="Follow an exec-engine telemetry JSONL stream: "
+                    "per-job state, utilization, cache hits, throughput "
+                    "and ETA.")
+    parser.add_argument("trace", metavar="TELEMETRY_JSONL",
+                        help="the --trace file an engine run is writing "
+                             "(or wrote)")
+    parser.add_argument("--follow", action="store_true",
+                        help="keep tailing until the run completes "
+                             "(default: replay what is there and exit)")
+    parser.add_argument("--interval", type=float, default=0.5,
+                        help="poll interval in seconds (default 0.5)")
+    parser.add_argument("--timeout", type=float, default=None,
+                        help="give up following after this many seconds")
+    parser.add_argument("--jobs-detail", type=int, default=0, metavar="N",
+                        help="also list per-job state for the first N jobs")
+    args = parser.parse_args(argv)
+
+    try:
+        if args.follow:
+            follower = follow(args.trace, interval=args.interval,
+                              timeout=args.timeout)
+        else:
+            follower = replay(args.trace)
+    except WatchError as exc:
+        print(f"watch: error: {exc}")
+        return 2
+    print(follower.render(jobs_detail=args.jobs_detail))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(watch_main())

@@ -1,0 +1,10 @@
+"""Shared fixtures: keep test runs from writing into the repo tree."""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _isolated_runs_dir(tmp_path, monkeypatch):
+    """Route default run-manifest writes (repro.perf) into the test's
+    tmp dir — CLI invocations would otherwise land in results/runs/."""
+    monkeypatch.setenv("REPRO_RUNS_DIR", str(tmp_path / "runs-default"))

@@ -201,10 +201,55 @@ class TestTelemetry:
                            execute=echo_execute)
         runner.run([make_job("a"), make_job("b")])
         events = [json.loads(line) for line in trace.read_text().splitlines()]
+        header, events = events[0], events[1:]
+        assert header["event"] == "run_header"
         assert {e["event"] for e in events} == {"queued", "started",
                                                "finished"}
         assert all(set(e) >= {"event", "key", "label", "timestamp"}
                    for e in events)
+
+    def test_trace_stream_leads_with_schema_header(self, tmp_path):
+        from repro.exec import TELEMETRY_SCHEMA
+
+        trace = tmp_path / "t.jsonl"
+        runner = JobRunner(
+            fast_options(trace_path=str(trace),
+                         run_meta={"experiment": "exp-x",
+                                   "argv": ["exp-x", "--quick"],
+                                   "seed": 7}),
+            execute=echo_execute)
+        runner.run([make_job("a"), make_job("b")])
+        header = json.loads(trace.read_text().splitlines()[0])
+        assert header["event"] == "run_header"
+        assert header["schema"] == TELEMETRY_SCHEMA
+        assert header["experiment"] == "exp-x"
+        assert header["argv"] == ["exp-x", "--quick"]
+        assert header["seed"] == 7
+        assert header["jobs"] == 2
+        assert header["workers"] == 1
+        assert "git_sha" in header and "started" in header
+
+    def test_trace_truncates_stale_file_then_appends_per_grid(
+            self, tmp_path):
+        """A new runner must not merge its stream into a stale trace
+        file, but a multi-grid experiment (several run() calls through
+        one runner) is one stream with one header per grid."""
+        trace = tmp_path / "t.jsonl"
+        trace.write_text('{"event": "queued", "key": "stale"}\n')
+        runner = JobRunner(fast_options(trace_path=str(trace)),
+                           execute=echo_execute)
+        runner.run([make_job("a")])
+        lines = [json.loads(line)
+                 for line in trace.read_text().splitlines()]
+        assert lines[0]["event"] == "run_header"
+        assert all(e.get("key") != "stale" for e in lines)
+        runner.run([make_job("b")])
+        events = [json.loads(line)
+                  for line in trace.read_text().splitlines()]
+        headers = [e for e in events if e["event"] == "run_header"]
+        assert len(headers) == 2
+        labels = {e.get("label") for e in events if e["event"] == "finished"}
+        assert labels == {"a/m/L", "b/m/L"}
 
 
 class TestBench:
@@ -242,3 +287,49 @@ class TestBench:
         assert set(slot) == {"cold", "warm"}
         assert slot["cold"]["cache_hits"] == 0
         assert slot["warm"]["cache_hits"] == 1
+
+    def test_record_run_skips_rewrite_when_only_timestamp_moved(
+            self, tmp_path, monkeypatch):
+        """Identical stats must not churn the file (or bump `updated`)."""
+        from repro.exec import record_run
+
+        path = tmp_path / "BENCH.json"
+        runner = JobRunner(fast_options(), execute=echo_execute)
+        runner.run([make_job()])
+        # Pin the volatile wall so consecutive records are value-identical.
+        runner.stats.wall = 1.0
+        runner.stats.job_walls = [1.0]
+        record_run(path, "exp", runner)
+        first = path.read_text()
+        updated = json.loads(first)["updated"]
+        record_run(path, "exp", runner)
+        assert path.read_text() == first
+        assert json.loads(path.read_text())["updated"] == updated
+
+    def test_record_run_appends_trajectory_lines(self, tmp_path):
+        from repro.exec import record_run
+        from repro.perf import read_trajectory, trajectory_path_for
+
+        path = tmp_path / "BENCH.json"
+        runner = JobRunner(fast_options(), execute=echo_execute)
+        runner.run([make_job()])
+        record_run(path, "exp", runner)
+        record_run(path, "exp", runner)
+        history = read_trajectory(trajectory_path_for(path))
+        assert len(history) == 2
+        assert all(r["experiment"] == "exp" for r in history)
+        assert all(r["schema"] == 1 for r in history)
+        assert history[0]["wall_seconds"] == history[1]["wall_seconds"]
+
+    def test_record_run_write_is_atomic(self, tmp_path):
+        """No tmp droppings, and the target parses, after a record."""
+        from repro.exec import record_run
+
+        path = tmp_path / "BENCH.json"
+        runner = JobRunner(fast_options(), execute=echo_execute)
+        runner.run([make_job()])
+        record_run(path, "exp", runner)
+        leftovers = [p.name for p in tmp_path.iterdir()
+                     if p.name.endswith(".tmp")]
+        assert leftovers == []
+        assert json.loads(path.read_text())["schema"] == 2

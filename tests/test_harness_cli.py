@@ -96,9 +96,36 @@ class TestCLIEngineFlags:
                                "--trace", str(trace)]) == 0
         events = [json.loads(line)
                   for line in trace.read_text().splitlines()]
+        header, events = events[0], events[1:]
+        assert header["event"] == "run_header"
+        assert header["experiment"] == "figure2"
         assert {e["event"] for e in events} == {"queued", "started",
                                                 "finished"}
         capsys.readouterr()
+
+    def test_manifest_written_by_default(self, capsys, tmp_path,
+                                         monkeypatch):
+        runs = tmp_path / "runs"
+        monkeypatch.setenv("REPRO_RUNS_DIR", str(runs))
+        assert main(self.F2 + ["--no-cache", "--no-bench"]) == 0
+        out = capsys.readouterr().out
+        assert "run manifest:" in out
+        manifests = list(runs.glob("*/manifest.json"))
+        assert len(manifests) == 1
+        manifest = json.loads(manifests[0].read_text())
+        assert manifest["experiment"] == "figure2"
+        assert manifest["argv"][0] == "figure2"
+        assert len(manifest["cells"]) == 10
+
+    def test_no_manifest_flag_suppresses_write(self, capsys, tmp_path,
+                                               monkeypatch):
+        runs = tmp_path / "runs"
+        monkeypatch.setenv("REPRO_RUNS_DIR", str(runs))
+        assert main(self.F2 + ["--no-cache", "--no-bench",
+                               "--no-manifest"]) == 0
+        out = capsys.readouterr().out
+        assert "run manifest:" not in out
+        assert not runs.exists()
 
     def test_bench_file_written(self, capsys, tmp_path):
         bench = tmp_path / "BENCH_harness.json"

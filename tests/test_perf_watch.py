@@ -1,0 +1,214 @@
+"""Live grid monitor: deterministic replay, schema gate, stream recovery."""
+
+import io
+import json
+
+import pytest
+
+from repro.exec import (
+    ExecOptions,
+    JobRunner,
+    SimJob,
+    TELEMETRY_SCHEMA,
+    run_header_record,
+)
+from repro.perf import TelemetryFollower, WatchError, follow, replay, watch_main
+
+
+def echo_execute(job):
+    return {"label": job.label, "seed": job.seed}
+
+
+def make_job(name="a", seed=0):
+    return SimJob.bar(benchmark=name, machine="m", label="L",
+                      instructions=1, warmup=0, seed=seed)
+
+
+def record_stream(tmp_path, jobs=2, workers=1, cache_dir=None):
+    """Run a tiny grid with --trace on and return the telemetry path."""
+    trace = tmp_path / "telemetry.jsonl"
+    options = ExecOptions(jobs=workers, cache=cache_dir is not None,
+                          cache_dir=cache_dir, trace_path=str(trace),
+                          run_meta={"experiment": "watch-test",
+                                    "argv": ["watch-test"], "seed": 0})
+    runner = JobRunner(options, execute=echo_execute)
+    runner.run([make_job(chr(ord("a") + i)) for i in range(jobs)])
+    return trace
+
+
+def synthetic_stream(events, header=True, schema=TELEMETRY_SCHEMA):
+    lines = []
+    if header:
+        record = run_header_record(experiment="synth", argv=["synth"],
+                                   seed=0, workers=2, jobs=2)
+        record["schema"] = schema
+        lines.append(json.dumps(record))
+    lines.extend(json.dumps(e) for e in events)
+    return "\n".join(lines) + "\n"
+
+
+EVENTS = [
+    {"event": "queued", "key": "k1", "label": "a/m/L", "timestamp": 10.0},
+    {"event": "queued", "key": "k2", "label": "b/m/L", "timestamp": 10.0},
+    {"event": "started", "key": "k1", "label": "a/m/L", "timestamp": 10.1,
+     "attempt": 1},
+    {"event": "cache_hit", "key": "k2", "label": "b/m/L", "timestamp": 10.2},
+    {"event": "finished", "key": "k2", "label": "b/m/L", "timestamp": 10.2,
+     "wall": 0.0, "cache": "hit"},
+    {"event": "finished", "key": "k1", "label": "a/m/L", "timestamp": 12.1,
+     "wall": 2.0, "cache": "miss"},
+]
+
+
+class TestReplay:
+    def test_recorded_stream_replays_deterministically(self, tmp_path):
+        """Acceptance: replaying a recorded run gives a stable panel."""
+        trace = record_stream(tmp_path, jobs=3)
+        first = replay(str(trace))
+        second = replay(str(trace))
+        assert first.snapshot() == second.snapshot()
+        assert first.render(jobs_detail=5) == second.render(jobs_detail=5)
+        snap = first.snapshot()
+        assert snap["experiment"] == "watch-test"
+        assert snap["total"] == 3
+        assert snap["done"] == 3
+        assert snap["failed"] == 0
+        assert snap["complete"] is True
+
+    def test_stats_come_from_event_timestamps(self):
+        follower = TelemetryFollower()
+        follower.feed_text(synthetic_stream(EVENTS))
+        snap = follower.snapshot()
+        assert snap["elapsed"] == pytest.approx(2.1)
+        assert snap["done"] == 1
+        assert snap["cached"] == 1
+        assert snap["cache_hit_ratio"] == 0.5
+        assert snap["throughput"] == pytest.approx(2 / 2.1, abs=1e-3)
+        # One 2.0s wall over 2.1s elapsed across 2 declared workers.
+        assert snap["utilization"] == pytest.approx(2.0 / (2.1 * 2), abs=1e-3)
+        assert snap["complete"] is True
+        assert snap["eta"] == 0.0
+
+    def test_multi_grid_stream_accumulates_header_totals(self):
+        """sensitivity-style streams carry one header per grid; totals
+        and completion must span all of them."""
+        grid2 = [
+            {"event": "queued", "key": "k3", "label": "c/m/L",
+             "timestamp": 20.0},
+            {"event": "queued", "key": "k4", "label": "d/m/L",
+             "timestamp": 20.0},
+            {"event": "finished", "key": "k3", "label": "c/m/L",
+             "timestamp": 21.0, "wall": 1.0, "cache": "miss"},
+            {"event": "finished", "key": "k4", "label": "d/m/L",
+             "timestamp": 21.5, "wall": 0.5, "cache": "miss"},
+        ]
+        follower = TelemetryFollower()
+        follower.feed_text(synthetic_stream(EVENTS))
+        follower.feed_text(synthetic_stream(grid2))
+        snap = follower.snapshot()
+        assert snap["total"] == 4
+        assert snap["done"] == 3 and snap["cached"] == 1
+        assert snap["complete"] is True
+        assert snap["elapsed"] == pytest.approx(11.5)
+
+    def test_cache_hits_render_in_panel(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        record_stream(tmp_path, jobs=2, cache_dir=str(cache_dir))
+        warm = record_stream(tmp_path, jobs=2, cache_dir=str(cache_dir))
+        snap = replay(str(warm)).snapshot()
+        assert snap["cached"] == 2
+        assert snap["cache_hit_ratio"] == 1.0
+
+
+class TestSchemaGate:
+    def test_unknown_schema_is_rejected_with_guidance(self):
+        follower = TelemetryFollower()
+        with pytest.raises(WatchError) as err:
+            follower.feed_text(synthetic_stream([], schema=99))
+        message = str(err.value)
+        assert "schema 99" in message
+        assert str(TELEMETRY_SCHEMA) in message
+        assert "regenerate" in message
+
+    def test_headerless_stream_tolerated_with_note(self):
+        follower = TelemetryFollower()
+        follower.feed_text(synthetic_stream(EVENTS, header=False))
+        assert follower.header is None
+        assert "headerless" in follower.render()
+        assert follower.snapshot()["total"] == 2
+
+    def test_cli_exits_2_on_unknown_schema(self, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        trace.write_text(synthetic_stream([], schema=99))
+        assert watch_main([str(trace)]) == 2
+        out = capsys.readouterr().out
+        assert "schema 99" in out
+
+
+class TestStreamRecovery:
+    def test_corrupt_lines_are_counted_and_skipped(self):
+        follower = TelemetryFollower()
+        text = synthetic_stream(EVENTS)
+        lines = text.splitlines()
+        lines.insert(3, "{truncated by a dying run")
+        lines.insert(5, "not json at all")
+        follower.feed_text("\n".join(lines) + "\n")
+        snap = follower.snapshot()
+        assert snap["corrupt_lines"] == 2
+        assert snap["done"] == 1 and snap["cached"] == 1
+        assert "corrupt line(s)" in follower.render()
+
+    def test_partial_trailing_line_buffers_until_newline(self):
+        follower = TelemetryFollower()
+        text = synthetic_stream(EVENTS)
+        split = len(text) - 25  # mid-way through the last record
+        follower.feed_text(text[:split])
+        assert follower.snapshot()["complete"] is False
+        follower.feed_text(text[split:])
+        assert follower.snapshot()["complete"] is True
+        assert follower.corrupt_lines == 0
+
+    def test_missing_file_is_a_watch_error(self, tmp_path):
+        with pytest.raises(WatchError, match="cannot read"):
+            replay(str(tmp_path / "nope.jsonl"))
+
+
+class TestFollowAndCLI:
+    def test_follow_tails_to_completion(self, tmp_path):
+        trace = record_stream(tmp_path, jobs=2)
+        out = io.StringIO()
+        follower = follow(str(trace), interval=0, stream=out,
+                          _sleep=lambda _s: None)
+        assert follower.complete
+        assert "[2/2]" in out.getvalue()
+
+    def test_follow_timeout_stops_on_incomplete_stream(self, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        trace.write_text(synthetic_stream(EVENTS[:3]))  # still running
+        out = io.StringIO()
+        follower = follow(str(trace), interval=0, timeout=0.01, stream=out,
+                          _sleep=lambda _s: None)
+        assert not follower.complete
+
+    def test_cli_replay_renders_panel(self, tmp_path, capsys):
+        trace = record_stream(tmp_path, jobs=2)
+        assert watch_main([str(trace), "--jobs-detail", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "watch — watch-test 2 jobs" in out
+        assert "complete" in out
+        assert "... and 1 more" in out
+
+    def test_failed_jobs_surface_in_detail(self):
+        follower = TelemetryFollower()
+        events = EVENTS[:3] + [
+            {"event": "failed", "key": "k1", "label": "a/m/L",
+             "timestamp": 11.0, "error": "ValueError: boom"},
+            {"event": "finished", "key": "k2", "label": "b/m/L",
+             "timestamp": 11.0, "wall": 0.5, "cache": "miss"},
+        ]
+        follower.feed_text(synthetic_stream(events))
+        snap = follower.snapshot()
+        assert snap["failed"] == 1
+        rendered = follower.render(jobs_detail=5)
+        assert "ValueError: boom" in rendered
+        assert "1 failed" in rendered
