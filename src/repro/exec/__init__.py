@@ -11,7 +11,12 @@ structured :mod:`~repro.exec.telemetry` events for every scheduling step.
 """
 
 from repro.exec.bench import DEFAULT_BENCH_PATH, atomic_write_json, record_run
-from repro.exec.cache import CacheStats, ResultCache, default_cache_dir
+from repro.exec.cache import (
+    CacheStats,
+    ResultCache,
+    default_cache_dir,
+    parse_size,
+)
 from repro.exec.engine import (
     ExecOptions,
     JobFailedError,
@@ -26,6 +31,7 @@ from repro.exec.job import (
     execute_job,
 )
 from repro.exec.telemetry import (
+    DRAINED,
     RUN_HEADER,
     TELEMETRY_SCHEMA,
     CollectingSink,
@@ -40,6 +46,7 @@ from repro.exec.telemetry import (
 
 __all__ = [
     "DEFAULT_BENCH_PATH",
+    "DRAINED",
     "RUN_HEADER",
     "TELEMETRY_SCHEMA",
     "atomic_write_json",
@@ -53,6 +60,7 @@ __all__ = [
     "ResultCache",
     "CacheStats",
     "default_cache_dir",
+    "parse_size",
     "ExecOptions",
     "JobRunner",
     "TransientJobError",

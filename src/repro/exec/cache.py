@@ -25,6 +25,29 @@ from typing import Any, Dict, Optional
 from repro.exec.job import SCHEMA_VERSION, SimJob
 
 _ENV_VAR = "REPRO_CACHE_DIR"
+_ENV_MAX_BYTES = "REPRO_CACHE_MAX_BYTES"
+
+#: With a size cap set, the cap is re-enforced every this many stores
+#: (a full enforcement walks the store; per-put would be quadratic).
+PRUNE_INTERVAL = 32
+
+
+def parse_size(text: str) -> int:
+    """Parse a byte count with an optional K/M/G suffix (``"500M"``)."""
+    text = str(text).strip()
+    multiplier = 1
+    suffixes = {"K": 1024, "M": 1024 ** 2, "G": 1024 ** 3}
+    if text and text[-1].upper() in suffixes:
+        multiplier = suffixes[text[-1].upper()]
+        text = text[:-1]
+    try:
+        value = int(text)
+    except ValueError:
+        raise ValueError(f"unparseable size {text!r}: expected an integer "
+                         f"byte count with an optional K/M/G suffix")
+    if value < 0:
+        raise ValueError(f"size must be non-negative, got {value}")
+    return value * multiplier
 
 
 def default_cache_dir() -> Path:
@@ -43,6 +66,7 @@ class CacheStats:
     stores: int = 0
     invalidations: int = 0  # stale-schema or corrupt entries dropped
     store_failures: int = 0  # writes skipped (disk full, read-only root...)
+    evictions: int = 0  # entries pruned to keep the store under its cap
 
     @property
     def lookups(self) -> int:
@@ -56,6 +80,7 @@ class CacheStats:
         return {"hits": self.hits, "misses": self.misses,
                 "stores": self.stores, "invalidations": self.invalidations,
                 "store_failures": self.store_failures,
+                "evictions": self.evictions,
                 "hit_rate": round(self.hit_rate, 4)}
 
 
@@ -65,10 +90,24 @@ class ResultCache:
 
     root: Path = field(default_factory=default_cache_dir)
     stats: CacheStats = field(default_factory=CacheStats)
+    #: Soft size cap in bytes: every :data:`PRUNE_INTERVAL` stores the
+    #: store is pruned back under it (oldest-mtime entries first).  None
+    #: defers to ``REPRO_CACHE_MAX_BYTES``; both unset means unbounded.
+    max_bytes: Optional[int] = None
 
     def __post_init__(self) -> None:
         self.root = Path(self.root).expanduser()
         self._store_warned = False
+        self._stores_since_prune = 0
+        if self.max_bytes is None:
+            env = os.environ.get(_ENV_MAX_BYTES, "").strip()
+            if env:
+                try:
+                    self.max_bytes = parse_size(env)
+                except ValueError:
+                    warnings.warn(
+                        f"ignoring unparseable {_ENV_MAX_BYTES}={env!r}",
+                        RuntimeWarning, stacklevel=2)
 
     # -- addressing ----------------------------------------------------------
     def path_for(self, key: str) -> Path:
@@ -136,6 +175,10 @@ class ResultCache:
                     f"cached for this run", RuntimeWarning, stacklevel=2)
             return None
         self.stats.stores += 1
+        if self.max_bytes is not None:
+            self._stores_since_prune += 1
+            if self._stores_since_prune >= PRUNE_INTERVAL:
+                self.enforce_cap()
         return path
 
     def _drop(self, path: Path) -> None:
@@ -169,6 +212,49 @@ class ResultCache:
                 pass
         return removed
 
+    def prune(self, max_bytes: int) -> Dict[str, Any]:
+        """Evict oldest-mtime entries until the store fits *max_bytes*.
+
+        Mtime (not the blob's ``created`` stamp) orders eviction so that
+        the policy survives entries written by other schema versions or
+        left half-described; a concurrently-deleted entry is skipped.
+        Evictions are counted in ``stats.evictions``.  Returns a summary
+        dict for the CLI / service telemetry.
+        """
+        entries = []
+        for path in self._entries():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+        entries.sort()
+        total = sum(size for _, size, _ in entries)
+        removed = 0
+        freed = 0
+        for _, size, path in entries:
+            if total <= max_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+            freed += size
+            removed += 1
+        self.stats.evictions += removed
+        return {"removed": removed, "freed_bytes": freed,
+                "remaining_bytes": total,
+                "remaining_entries": len(entries) - removed,
+                "max_bytes": max_bytes}
+
+    def enforce_cap(self) -> Optional[Dict[str, Any]]:
+        """Prune back under ``max_bytes``, when a cap is configured."""
+        if self.max_bytes is None:
+            return None
+        self._stores_since_prune = 0
+        return self.prune(self.max_bytes)
+
     def describe(self) -> Dict[str, Any]:
         """Inventory for the ``repro.exec cache`` CLI / bench telemetry."""
         return {
@@ -176,5 +262,6 @@ class ResultCache:
             "schema": SCHEMA_VERSION,
             "entries": self.entry_count(),
             "size_bytes": self.size_bytes(),
+            "max_bytes": self.max_bytes,
             "session": self.stats.as_dict(),
         }

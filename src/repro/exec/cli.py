@@ -5,9 +5,14 @@ Subcommands::
     python -m repro.exec cache stats    # location, entry count, size
     python -m repro.exec cache purge    # delete every cached result
     python -m repro.exec cache path     # print the cache directory
+    python -m repro.exec cache prune --max-bytes 500M
+                                        # evict oldest entries over the cap
 
 The cache directory is ``~/.cache/repro-exec`` unless ``REPRO_CACHE_DIR``
-or ``--dir`` says otherwise.
+or ``--dir`` says otherwise.  ``prune`` keeps the store bounded under
+sustained service traffic: entries are evicted oldest-mtime first until
+the store fits ``--max-bytes`` (suffixes K/M/G accepted; defaults to
+``REPRO_CACHE_MAX_BYTES`` when set).
 """
 
 from __future__ import annotations
@@ -15,18 +20,23 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.exec.cache import ResultCache, default_cache_dir
+from repro.exec.cache import ResultCache, default_cache_dir, parse_size
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(prog="python -m repro.exec",
                                      description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
-    cache = sub.add_parser("cache", help="inspect or purge the result cache")
-    cache.add_argument("action", choices=["stats", "purge", "path"])
+    cache = sub.add_parser("cache",
+                           help="inspect, prune or purge the result cache")
+    cache.add_argument("action", choices=["stats", "purge", "path", "prune"])
     cache.add_argument("--dir", default=None,
                        help="cache directory (default: REPRO_CACHE_DIR or "
                             "~/.cache/repro-exec)")
+    cache.add_argument("--max-bytes", default=None, metavar="SIZE",
+                       help="size cap for prune; integer bytes with an "
+                            "optional K/M/G suffix (default: "
+                            "REPRO_CACHE_MAX_BYTES)")
     args = parser.parse_args(argv)
 
     store = ResultCache(args.dir) if args.dir else ResultCache()
@@ -38,9 +48,27 @@ def main(argv=None) -> int:
         print(f"schema      v{info['schema']}")
         print(f"entries     {info['entries']}")
         print(f"size        {info['size_bytes']} bytes")
+        if info["max_bytes"] is not None:
+            print(f"size cap    {info['max_bytes']} bytes")
     elif args.action == "purge":
         removed = store.purge()
         print(f"purged {removed} cached result(s) from {store.root}")
+    elif args.action == "prune":
+        if args.max_bytes is not None:
+            try:
+                cap = parse_size(args.max_bytes)
+            except ValueError as exc:
+                parser.error(str(exc))
+        elif store.max_bytes is not None:  # from REPRO_CACHE_MAX_BYTES
+            cap = store.max_bytes
+        else:
+            parser.error("prune needs --max-bytes (or REPRO_CACHE_MAX_BYTES)")
+        summary = store.prune(cap)
+        print(f"pruned {summary['removed']} entr(y/ies), "
+              f"{summary['freed_bytes']} bytes freed; "
+              f"{summary['remaining_entries']} entr(y/ies) / "
+              f"{summary['remaining_bytes']} bytes remain "
+              f"(cap {summary['max_bytes']})")
     return 0
 
 

@@ -29,10 +29,21 @@ Failure policy:
   runner emits one ``pool_broken`` event and re-runs the unfinished
   jobs on the serial path, carrying over each job's attempt count so
   the retry budget still bounds the total work.
+
+Graceful shutdown: :meth:`JobRunner.request_drain` (or SIGTERM/SIGINT
+when ``options.install_signal_handlers`` is set) stops the run admitting
+new work — in-flight jobs finish and are stored/recorded normally,
+not-yet-started jobs are given up with a ``drained`` telemetry event,
+and the run returns partial results (``None`` for drained slots) after
+flushing the telemetry trace and the run manifest.  Before this, a
+killed pool could drop the trailing JSONL events and leave no manifest.
 """
 
 from __future__ import annotations
 
+import contextlib
+import signal
+import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
@@ -44,6 +55,7 @@ from repro.exec.cache import ResultCache
 from repro.exec.job import SimJob, execute_job
 from repro.exec.telemetry import (
     CACHE_HIT,
+    DRAINED,
     FAILED,
     FINISHED,
     POOL_BROKEN,
@@ -97,6 +109,11 @@ class ExecOptions:
     #: Run provenance merged into the telemetry header and the manifest
     #: (experiment name, CLI argv, seed, ...).
     run_meta: Optional[Dict[str, Any]] = None
+    #: Install SIGTERM/SIGINT handlers for the duration of each run()
+    #: (main thread only): the first signal requests a graceful drain,
+    #: a second one raises KeyboardInterrupt.  Off by default so library
+    #: callers and tests never have their signal disposition touched.
+    install_signal_handlers: bool = False
 
 
 def _timed_call(execute: Callable[[SimJob], Dict[str, Any]],
@@ -137,6 +154,57 @@ class JobRunner:
         #: ``options.manifest_dir`` is set and the write succeeded.
         self.last_manifest: Optional[str] = None
         self._trace_opened = False
+        self._drain = False
+
+    # -- graceful shutdown ---------------------------------------------------
+    @property
+    def draining(self) -> bool:
+        """True once a drain was requested; sticky across grids."""
+        return self._drain
+
+    def request_drain(self) -> None:
+        """Ask the current (and any future) run to stop admitting work.
+
+        Safe from signal handlers and other threads: it only sets a flag
+        the run loops poll between jobs.  In-flight jobs finish and are
+        recorded; jobs not yet started are marked ``drained`` and their
+        result slot stays ``None``.
+        """
+        self._drain = True
+
+    @contextlib.contextmanager
+    def _graceful_signals(self):
+        """SIGTERM/SIGINT -> drain, for the duration of one run().
+
+        Only active when ``options.install_signal_handlers`` is set and
+        we are on the main thread (the only place the signal module
+        allows handler changes).  A second signal while already draining
+        raises KeyboardInterrupt so a hung drain can still be escaped.
+        """
+        if (not self.options.install_signal_handlers
+                or threading.current_thread() is not threading.main_thread()):
+            yield
+            return
+        previous = {}
+
+        def _on_signal(signum, frame):
+            if self._drain:
+                raise KeyboardInterrupt
+            self.request_drain()
+
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                previous[signum] = signal.signal(signum, _on_signal)
+            except (ValueError, OSError):  # non-main interpreter quirks
+                pass
+        try:
+            yield
+        finally:
+            for signum, old in previous.items():
+                try:
+                    signal.signal(signum, old)
+                except (ValueError, OSError):
+                    pass
 
     # -- telemetry helpers ---------------------------------------------------
     def _emit(self, sink, event: str, job: SimJob, key: str,
@@ -197,24 +265,26 @@ class JobRunner:
         results: List[Optional[Dict[str, Any]]] = [None] * len(jobs)
         error: Optional[BaseException] = None
         try:
-            keys = [job.cache_key() for job in jobs]
-            pending: List[int] = []
-            for index, (job, key) in enumerate(zip(jobs, keys)):
-                self._emit(sink, QUEUED, job, key)
-                cached = self.cache.get(job) if self.cache else None
-                if cached is not None:
-                    results[index] = cached
-                    self._emit(sink, CACHE_HIT, job, key)
-                    self._emit(sink, FINISHED, job, key, cache="hit",
-                               wall=0.0)
-                else:
-                    pending.append(index)
+            with self._graceful_signals():
+                keys = [job.cache_key() for job in jobs]
+                pending: List[int] = []
+                for index, (job, key) in enumerate(zip(jobs, keys)):
+                    self._emit(sink, QUEUED, job, key)
+                    cached = self.cache.get(job) if self.cache else None
+                    if cached is not None:
+                        results[index] = cached
+                        self._emit(sink, CACHE_HIT, job, key)
+                        self._emit(sink, FINISHED, job, key, cache="hit",
+                                   wall=0.0)
+                    else:
+                        pending.append(index)
 
-            if pending:
-                if self.options.jobs <= 1:
-                    self._run_serial(jobs, keys, pending, results, sink)
-                else:
-                    self._run_parallel(jobs, keys, pending, results, sink)
+                if pending:
+                    if self.options.jobs <= 1:
+                        self._run_serial(jobs, keys, pending, results, sink)
+                    else:
+                        self._run_parallel(jobs, keys, pending, results,
+                                           sink)
             return results  # type: ignore[return-value]
         except BaseException as exc:
             error = exc
@@ -249,7 +319,11 @@ class JobRunner:
         (the pool-broken fallback path), so the retry budget bounds the
         total attempts a job gets across both execution modes."""
         cache_state = "miss" if self.cache else "off"
-        for index in pending:
+        for position, index in enumerate(pending):
+            if self._drain:
+                self._drain_indices(jobs, keys, pending[position:], results,
+                                    sink, attempts)
+                return
             job, key = jobs[index], keys[index]
             attempt = attempts.get(index, 0) if attempts else 0
             violation = None
@@ -315,6 +389,12 @@ class JobRunner:
             # Collect in submission order; retries resubmit in place.
             try:
                 for index in pending:
+                    if self._drain and results[index] is None:
+                        aborted = True
+                        self._drain_pool(pool, jobs, keys, pending, futures,
+                                         attempts, results, sink,
+                                         cache_state)
+                        return
                     job, key = jobs[index], keys[index]
                     violation = None
                     while True:
@@ -383,6 +463,52 @@ class JobRunner:
         finally:
             if not aborted:
                 pool.shutdown(wait=True, cancel_futures=True)
+
+    # -- graceful drain ------------------------------------------------------
+    def _drain_indices(self, jobs, keys, indices, results, sink,
+                       attempts: Optional[Dict[int, int]] = None) -> None:
+        """Mark every unfinished job in *indices* as drained."""
+        for index in indices:
+            if results[index] is not None:
+                continue
+            attempt = (attempts or {}).get(index, 0)
+            self._emit(sink, DRAINED, jobs[index], keys[index],
+                       attempt=attempt)
+
+    def _drain_pool(self, pool, jobs, keys, pending, futures, attempts,
+                    results, sink, cache_state) -> None:
+        """Drain the parallel path: wait for in-flight futures, cancel the
+        queued ones, harvest whatever completed, mark the rest drained."""
+        pool.shutdown(wait=True, cancel_futures=True)
+        for index in pending:
+            if results[index] is not None:
+                continue
+            future = futures.get(index)
+            attempt = attempts.get(index, 0)
+            if (future is not None and future.done()
+                    and not future.cancelled()):
+                exc = future.exception()
+                if exc is None:
+                    result, wall = future.result()
+                    self._store(jobs[index], result)
+                    results[index] = result
+                    self._emit(sink, FINISHED, jobs[index], keys[index],
+                               attempt=attempt, wall=wall,
+                               cache=cache_state,
+                               **self._trace_extra(jobs[index]))
+                    continue
+                if isinstance(exc, InvariantViolation):
+                    results[index] = self._violation_result(
+                        sink, jobs[index], keys[index], attempt, exc)
+                    continue
+                # Any other in-flight failure during a drain is recorded
+                # as drained-with-error rather than aborting the flush.
+                self._emit(sink, DRAINED, jobs[index], keys[index],
+                           attempt=attempt,
+                           error=f"{type(exc).__name__}: {exc}")
+                continue
+            self._emit(sink, DRAINED, jobs[index], keys[index],
+                       attempt=attempt)
 
     # -- shared helpers ------------------------------------------------------
     def _violation_result(self, sink, job, key, attempt,

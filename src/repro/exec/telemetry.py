@@ -33,6 +33,10 @@ FAILED = "failed"
 #: The worker pool died under a job (OOM kill, crashed interpreter);
 #: unfinished jobs fall back to the serial path.
 POOL_BROKEN = "pool_broken"
+#: The run was asked to drain (SIGTERM/SIGINT or an explicit
+#: ``request_drain()``): this job was given up without being executed.
+#: In-flight jobs still finish and flush; only not-yet-started work drains.
+DRAINED = "drained"
 #: Stream-level header record: always the first line of a telemetry JSONL
 #: stream, carrying the schema version and run provenance so consumers
 #: (``harness watch`` / ``harness compare``) can self-describe the file.
@@ -202,6 +206,7 @@ class RunTelemetry:
     executed: int = 0            # jobs that actually simulated
     pool_breaks: int = 0         # worker pools lost to dead workers
     violations: int = 0          # failures carrying an InvariantViolation
+    drained: int = 0             # jobs given up to a graceful drain
     job_walls: List[float] = field(default_factory=list)
     started_at: float = field(default_factory=time.time)
     wall: float = 0.0
@@ -209,6 +214,8 @@ class RunTelemetry:
     def emit(self, event: JobEvent) -> None:
         if event.event == QUEUED:
             self.jobs += 1
+        elif event.event == DRAINED:
+            self.drained += 1
         elif event.event == STARTED:
             self.executed += 1
         elif event.event == CACHE_HIT:
@@ -246,6 +253,7 @@ class RunTelemetry:
             "executed": self.executed,
             "pool_breaks": self.pool_breaks,
             "violations": self.violations,
+            "drained": self.drained,
             "wall_seconds": round(self.wall, 4),
             "mean_job_seconds": (round(sum(walls) / len(walls), 4)
                                  if walls else 0.0),

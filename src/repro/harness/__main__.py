@@ -17,6 +17,7 @@ Usage::
                                     --machine M [--label L])
     python -m repro.harness compare RUN_A RUN_B [--json] [--trace-dir]
     python -m repro.harness watch TELEMETRY_JSONL [--follow]
+    python -m repro.harness serve [--port P] [--shards N] ...
 
 ``profile`` wraps any other invocation in cProfile and prints the top-N
 hot functions afterwards, e.g.::
@@ -401,6 +402,9 @@ def dispatch(argv=None) -> int:
     if argv and argv[0] == "watch":
         from repro.perf.watch import watch_main
         return watch_main(argv[1:])
+    if argv and argv[0] == "serve":
+        from repro.serve.cli import main as serve_main
+        return serve_main(argv[1:])
     return main(argv)
 
 

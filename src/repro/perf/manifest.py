@@ -28,7 +28,7 @@ import time
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.exec.bench import atomic_write_json
-from repro.exec.telemetry import FINISHED, JobEvent, git_sha
+from repro.exec.telemetry import DRAINED, FINISHED, JobEvent, git_sha
 
 #: Manifest layout version; compare/load reject versions they don't know.
 MANIFEST_SCHEMA = 1
@@ -119,9 +119,12 @@ def build_cells(jobs: Sequence, results: Sequence[Optional[Dict[str, Any]]],
     """Fold the telemetry stream + results into per-cell records."""
     finished: Dict[str, JobEvent] = {}
     attempts: Dict[str, int] = {}
+    drained = set()
     for event in events:
         if event.event == FINISHED:
             finished[event.key] = event
+        elif event.event == DRAINED:
+            drained.add(event.key)
         attempts[event.key] = max(attempts.get(event.key, 0), event.attempt)
     cells = []
     for job, result in zip(jobs, results):
@@ -129,7 +132,7 @@ def build_cells(jobs: Sequence, results: Sequence[Optional[Dict[str, Any]]],
         done = finished.get(key)
         status = "ok"
         if result is None:
-            status = "unfinished"
+            status = "drained" if key in drained else "unfinished"
         elif result.get("status") == "invariant_violation":
             status = "invariant_violation"
         cells.append({
@@ -170,7 +173,8 @@ def build_manifest(jobs: Sequence,
         "workers": runner.options.jobs,
         "cache_enabled": runner.cache is not None,
         "telemetry_path": runner.options.trace_path,
-        "status": "ok" if error is None else "failed",
+        "status": ("failed" if error is not None else
+                   "drained" if getattr(runner, "draining", False) else "ok"),
         "error": (f"{type(error).__name__}: {error}"
                   if error is not None else None),
         "stats": runner.stats.as_dict(),

@@ -26,6 +26,7 @@ from typing import Any, Dict, List, Optional
 
 from repro.exec.telemetry import (
     CACHE_HIT,
+    DRAINED,
     FAILED,
     FINISHED,
     POOL_BROKEN,
@@ -42,6 +43,7 @@ ST_RUNNING = "running"
 ST_DONE = "done"
 ST_FAILED = "failed"
 ST_CACHED = "cached"
+ST_DRAINED = "drained"
 
 
 class WatchError(ValueError):
@@ -143,6 +145,9 @@ class TelemetryFollower:
             self.retries += 1
         elif kind == POOL_BROKEN:
             self.pool_breaks += 1
+        elif kind == DRAINED:
+            job["state"] = ST_DRAINED
+            self.last_label = job["label"]
 
     # -- derived state -------------------------------------------------------
     def _count(self, state: str) -> int:
@@ -159,7 +164,8 @@ class TelemetryFollower:
         """Every known job reached a terminal state (and any job exists)."""
         if not self.jobs or len(self.jobs) < self.total:
             return False
-        return all(job["state"] in (ST_DONE, ST_FAILED, ST_CACHED)
+        return all(job["state"] in (ST_DONE, ST_FAILED, ST_CACHED,
+                                    ST_DRAINED)
                    for job in self.jobs.values())
 
     def snapshot(self) -> Dict[str, Any]:
@@ -193,6 +199,7 @@ class TelemetryFollower:
             "done": done,
             "cached": cached,
             "failed": failed,
+            "drained": self._count(ST_DRAINED),
             "retries": self.retries,
             "pool_breaks": self.pool_breaks,
             "corrupt_lines": self.corrupt_lines,
@@ -246,7 +253,8 @@ class TelemetryFollower:
             f"({snap['cached']} cache hits, "
             f"{100.0 * snap['cache_hit_ratio']:.0f}% hit ratio), "
             f"{snap['failed']} failed, {snap['running']} running, "
-            f"{snap['queued']} queued")
+            f"{snap['queued']} queued"
+            + (f", {snap['drained']} drained" if snap["drained"] else ""))
         if snap["retries"] or snap["pool_breaks"]:
             head.append(f"  recoveries  {snap['retries']} retries, "
                         f"{snap['pool_breaks']} pool break(s)")

@@ -1,0 +1,118 @@
+"""A small blocking client for the gateway (stdlib ``http.client``).
+
+For tests, the smoke script and notebook-style use.  One
+:class:`ServeClient` holds one keep-alive connection; every method
+returns parsed JSON (or text for ``/metrics``) plus the HTTP status, so
+callers can assert on structured error bodies as easily as on results.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any, Dict, Optional, Tuple
+
+
+class ServeClient:
+    """Blocking keep-alive client for one gateway endpoint."""
+
+    def __init__(self, host: str, port: int,
+                 tenant: Optional[str] = None,
+                 timeout: float = 60.0) -> None:
+        self.host = host
+        self.port = port
+        self.tenant = tenant
+        self.timeout = timeout
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    # -- plumbing ------------------------------------------------------------
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout)
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def request(self, method: str, path: str,
+                body: Optional[Dict[str, Any]] = None
+                ) -> Tuple[int, bytes, Dict[str, str]]:
+        """One request/response cycle; reconnects once on a dead socket."""
+        headers = {}
+        if self.tenant:
+            headers["X-Tenant"] = self.tenant
+        data = None
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        for retry in (True, False):
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=data, headers=headers)
+                response = conn.getresponse()
+                payload = response.read()
+                return (response.status, payload,
+                        {k.lower(): v for k, v in response.getheaders()})
+            except (http.client.HTTPException, ConnectionError, OSError):
+                self.close()
+                if not retry:
+                    raise
+        raise AssertionError("unreachable")
+
+    def json(self, method: str, path: str,
+             body: Optional[Dict[str, Any]] = None
+             ) -> Tuple[int, Any]:
+        status, payload, _ = self.request(method, path, body)
+        return status, json.loads(payload.decode("utf-8"))
+
+    # -- endpoints -----------------------------------------------------------
+    def submit(self, spec: Dict[str, Any]) -> Tuple[int, Any]:
+        """POST a job spec; returns (status, outcome-or-error body)."""
+        return self.json("POST", "/v1/jobs", spec)
+
+    def submit_stream(self, spec: Dict[str, Any]) -> Tuple[int, list]:
+        """POST with SSE; returns (status, parsed event list).
+
+        Each event is ``{"event": <name or None>, "data": <object>}`` in
+        arrival order.  On a pre-admission error the status is the error
+        code and the list holds the single JSON error body.
+        """
+        status, payload, headers = self.request(
+            "POST", "/v1/jobs?stream=1", spec)
+        if "text/event-stream" not in headers.get("content-type", ""):
+            return status, [json.loads(payload.decode("utf-8"))]
+        events = []
+        name = None
+        for line in payload.decode("utf-8").splitlines():
+            if line.startswith("event: "):
+                name = line[len("event: "):]
+            elif line.startswith("data: "):
+                events.append({"event": name,
+                               "data": json.loads(line[len("data: "):])})
+                name = None
+        return status, events
+
+    def healthz(self) -> Tuple[int, Dict[str, Any]]:
+        return self.json("GET", "/healthz")
+
+    def stats(self) -> Tuple[int, Dict[str, Any]]:
+        return self.json("GET", "/stats")
+
+    def runs(self) -> Tuple[int, Dict[str, Any]]:
+        return self.json("GET", "/runs")
+
+    def run_manifest(self, run_id: str) -> Tuple[int, Dict[str, Any]]:
+        return self.json("GET", f"/runs/{run_id}")
+
+    def metrics_text(self) -> Tuple[int, str]:
+        status, payload, _ = self.request("GET", "/metrics")
+        return status, payload.decode("utf-8")

@@ -1,0 +1,401 @@
+"""The serving core: admission, coalescing, rate limits, worker shards.
+
+One :class:`Gateway` owns the whole request path between the HTTP layer
+and the exec engine::
+
+    request -> token bucket (per tenant) -> spec validation
+            -> content-addressed cache probe          (hit: answer now)
+            -> in-flight coalescing on the cache key  (dup: join the run)
+            -> bounded admission queue                (full: 503)
+            -> worker shard -> JobRunner -> result + run manifest
+
+Worker shards are asyncio tasks that hand admitted tickets to a
+``ThreadPoolExecutor`` (one thread per shard) where a per-request
+:class:`~repro.exec.JobRunner` executes the cell inline — the same
+engine, cache and manifest machinery a CLI run uses, so a served result
+is byte-identical to ``python -m repro.harness`` running the same cell
+(the manifest config digest is the proof).
+
+Coalescing: two identical in-flight requests share one
+:class:`Ticket` — the engine runs once, both responses are fed from the
+same future, and the ``serve.coalesced`` counter records the join.
+
+Every decision increments a counter or histogram in an
+:class:`repro.obs.metrics.Registry`, exported at ``/metrics`` as
+OpenMetrics by the app layer.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.exec import ExecOptions, JobRunner, ResultCache, SimJob
+from repro.exec.job import execute_job
+from repro.obs.metrics import Registry
+from repro.serve.spec import SpecError, validate_job_spec
+
+
+class RateLimited(Exception):
+    """The tenant's token bucket is empty; renders as 429."""
+
+    def __init__(self, tenant: str, retry_after: float) -> None:
+        super().__init__(f"tenant {tenant!r} is rate limited")
+        self.tenant = tenant
+        self.retry_after = retry_after
+
+
+class QueueFull(Exception):
+    """The admission queue is at capacity; renders as 503."""
+
+
+class Draining(Exception):
+    """The gateway is shutting down and admits no new work; 503."""
+
+
+class JobError(Exception):
+    """The engine failed the job (after retries); renders as 500."""
+
+    def __init__(self, kind: str, message: str) -> None:
+        super().__init__(message)
+        self.kind = kind
+        self.message = message
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/s, capacity ``burst``."""
+
+    __slots__ = ("rate", "burst", "tokens", "stamp")
+
+    def __init__(self, rate: float, burst: float,
+                 now: Optional[float] = None) -> None:
+        self.rate = rate
+        self.burst = burst
+        self.tokens = burst
+        self.stamp = time.monotonic() if now is None else now
+
+    def try_acquire(self, now: Optional[float] = None) -> bool:
+        now = time.monotonic() if now is None else now
+        self.tokens = min(self.burst,
+                          self.tokens + (now - self.stamp) * self.rate)
+        self.stamp = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+    def retry_after(self) -> float:
+        """Seconds until one token is available (at the current fill)."""
+        if self.rate <= 0:
+            return 1.0
+        return max(0.0, (1.0 - self.tokens) / self.rate)
+
+
+@dataclass
+class ServeOptions:
+    """Knobs for one gateway instance (CLI flags map 1:1)."""
+
+    shards: int = 2                 # worker threads running JobRunners
+    queue_limit: int = 64           # bounded admission queue depth
+    rate: float = 0.0               # tokens/s per tenant; 0 = unlimited
+    burst: float = 20.0             # bucket capacity
+    cache_dir: Optional[str] = None
+    cache_max_bytes: Optional[int] = None
+    manifest_dir: Optional[str] = None  # per-served-run manifests; None off
+    job_timeout: Optional[float] = None
+    drain_grace: float = 30.0       # seconds to wait for in-flight on drain
+
+
+class Ticket:
+    """One admitted execution; coalesced requests share it."""
+
+    __slots__ = ("job", "key", "future", "subscribers", "events",
+                 "waiters", "created")
+
+    def __init__(self, job: SimJob, key: str,
+                 future: "asyncio.Future") -> None:
+        self.job = job
+        self.key = key
+        self.future = future
+        #: SSE subscriber queues; fed from the engine's telemetry sink.
+        self.subscribers: List["asyncio.Queue"] = []
+        #: Telemetry records already published (late subscribers replay).
+        self.events: List[Dict[str, Any]] = []
+        self.waiters = 1
+        self.created = time.monotonic()
+
+
+class _TicketSink:
+    """Engine telemetry sink that republishes events onto the loop.
+
+    Runs on the shard thread; hops to the event loop with
+    ``call_soon_threadsafe`` so subscriber queues are only touched from
+    the loop.
+    """
+
+    def __init__(self, loop, publish: Callable, ticket: Ticket) -> None:
+        self.loop = loop
+        self.publish = publish
+        self.ticket = ticket
+
+    def emit(self, event) -> None:
+        record = json.loads(event.to_json())
+        self.loop.call_soon_threadsafe(self.publish, self.ticket, record)
+
+
+def run_id_of(manifest_path: Optional[str]) -> Optional[str]:
+    """``.../<run_id>/manifest.json`` -> ``<run_id>``."""
+    if not manifest_path:
+        return None
+    return os.path.basename(os.path.dirname(manifest_path))
+
+
+class Gateway:
+    """The simulation-as-a-service core (transport-agnostic).
+
+    ``execute`` is pluggable exactly like :class:`JobRunner`'s — tests
+    inject slow or flaky payloads to pin down coalescing and admission
+    behaviour without real simulations.
+    """
+
+    def __init__(self, options: Optional[ServeOptions] = None, *,
+                 execute=execute_job) -> None:
+        self.options = options or ServeOptions()
+        self.execute = execute
+        self.registry = Registry()
+        self.cache = ResultCache(
+            **({"root": self.options.cache_dir}
+               if self.options.cache_dir else {}),
+            max_bytes=self.options.cache_max_bytes)
+        self.in_flight: Dict[str, Ticket] = {}
+        self.buckets: Dict[str, TokenBucket] = {}
+        self.draining = False
+        self.started_at = time.time()
+        self.loop: Optional[asyncio.AbstractEventLoop] = None
+        self.queue: Optional[asyncio.Queue] = None
+        self._shard_tasks: List["asyncio.Task"] = []
+        self._executor: Optional[ThreadPoolExecutor] = None
+
+    # -- lifecycle -----------------------------------------------------------
+    async def start(self) -> None:
+        """Bind to the running loop and start the worker shards."""
+        self.loop = asyncio.get_running_loop()
+        self.queue = asyncio.Queue(maxsize=self.options.queue_limit)
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.options.shards,
+            thread_name_prefix="serve-shard")
+        self._shard_tasks = [
+            asyncio.ensure_future(self._shard_loop(shard))
+            for shard in range(self.options.shards)]
+
+    async def drain(self, grace: Optional[float] = None) -> int:
+        """Stop admitting, wait for in-flight work, stop the shards.
+
+        Returns the number of tickets abandoned at the grace deadline
+        (each of their waiters gets a :class:`Draining` error rather
+        than a hang).
+        """
+        self.draining = True
+        grace = self.options.drain_grace if grace is None else grace
+        deadline = time.monotonic() + grace
+        while self.in_flight and time.monotonic() < deadline:
+            await asyncio.sleep(0.02)
+        abandoned = 0
+        for ticket in list(self.in_flight.values()):
+            if not ticket.future.done():
+                ticket.future.set_exception(Draining("drain deadline"))
+                abandoned += 1
+            self.in_flight.pop(ticket.key, None)
+        for task in self._shard_tasks:
+            task.cancel()
+        if self._shard_tasks:
+            await asyncio.gather(*self._shard_tasks, return_exceptions=True)
+        self._shard_tasks = []
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        return abandoned
+
+    # -- submission ----------------------------------------------------------
+    async def submit(self, payload: Any, tenant: str = "anonymous",
+                     subscriber: Optional["asyncio.Queue"] = None
+                     ) -> Dict[str, Any]:
+        """Validate, admit and execute one job spec; return the outcome.
+
+        The outcome dict is ``{"result": <engine result>, "meta": {...}}``
+        with meta carrying cache state, run id/manifest and wall time.
+        *subscriber*, when given, receives schema-1 telemetry records as
+        they happen (and ``None`` as the end-of-stream sentinel).
+
+        Raises SpecError / RateLimited / QueueFull / Draining / JobError.
+        """
+        t0 = time.monotonic()
+        self.registry.counter("serve.requests").inc()
+        try:
+            outcome = await self._submit(payload, tenant, subscriber)
+        except SpecError:
+            self.registry.counter("serve.rejected.invalid_spec").inc()
+            raise
+        except RateLimited:
+            self.registry.counter("serve.rejected.rate_limited").inc()
+            raise
+        except QueueFull:
+            self.registry.counter("serve.rejected.queue_full").inc()
+            raise
+        except Draining:
+            self.registry.counter("serve.rejected.draining").inc()
+            raise
+        except JobError:
+            self.registry.counter("serve.failures").inc()
+            raise
+        self.registry.histogram("serve.request_latency_ms").record(
+            int((time.monotonic() - t0) * 1000))
+        return outcome
+
+    async def _submit(self, payload, tenant, subscriber) -> Dict[str, Any]:
+        if self.draining:
+            raise Draining("gateway is draining")
+        if self.options.rate > 0:
+            bucket = self.buckets.get(tenant)
+            if bucket is None:
+                bucket = self.buckets[tenant] = TokenBucket(
+                    self.options.rate, self.options.burst)
+            if not bucket.try_acquire():
+                raise RateLimited(tenant, bucket.retry_after())
+        job = validate_job_spec(payload)
+        key = job.cache_key()
+
+        cached = self.cache.get(job)
+        if cached is not None:
+            self.registry.counter("serve.cache_hits").inc()
+            if subscriber is not None:
+                subscriber.put_nowait(None)
+            return {"result": cached,
+                    "meta": {"key": key[:16], "label": job.label,
+                             "cache": "hit", "coalesced": False,
+                             "run_id": None, "wall": 0.0}}
+
+        ticket = self.in_flight.get(key)
+        if ticket is not None:
+            self.registry.counter("serve.coalesced").inc()
+            ticket.waiters += 1
+            if subscriber is not None:
+                for record in ticket.events:  # replay, then follow live
+                    subscriber.put_nowait(record)
+                ticket.subscribers.append(subscriber)
+            outcome = await asyncio.shield(ticket.future)
+            return self._coalesced_view(outcome)
+
+        if self.queue is None:
+            raise Draining("gateway not started")
+        ticket = Ticket(job, key, self.loop.create_future())
+        if subscriber is not None:
+            ticket.subscribers.append(subscriber)
+        try:
+            self.queue.put_nowait(ticket)
+        except asyncio.QueueFull:
+            raise QueueFull(f"admission queue at capacity "
+                            f"({self.options.queue_limit})")
+        self.in_flight[key] = ticket
+        self.registry.counter("serve.admitted").inc()
+        self.registry.histogram("serve.queue_depth").record(
+            self.queue.qsize())
+        return await asyncio.shield(ticket.future)
+
+    @staticmethod
+    def _coalesced_view(outcome: Dict[str, Any]) -> Dict[str, Any]:
+        meta = dict(outcome["meta"], coalesced=True)
+        return {"result": outcome["result"], "meta": meta}
+
+    # -- execution (shards) --------------------------------------------------
+    async def _shard_loop(self, shard: int) -> None:
+        while True:
+            ticket = await self.queue.get()
+            try:
+                outcome = await self.loop.run_in_executor(
+                    self._executor, self._run_ticket, ticket, shard)
+            except Exception as exc:
+                self._finish(ticket, error=self._as_job_error(exc))
+            else:
+                self._finish(ticket, outcome=outcome)
+            finally:
+                self.queue.task_done()
+
+    @staticmethod
+    def _as_job_error(exc: Exception) -> JobError:
+        return JobError(type(exc).__name__, str(exc))
+
+    def _run_ticket(self, ticket: Ticket, shard: int) -> Dict[str, Any]:
+        """Shard-thread body: one JobRunner run for one ticket.
+
+        A fresh runner per request keeps per-run accounting (and the run
+        manifest) isolated while sharing the gateway's result cache, so
+        concurrent shards never fight over scheduler state.
+        """
+        options = ExecOptions(
+            jobs=1,
+            timeout=self.options.job_timeout,
+            retries=0,
+            manifest_dir=self.options.manifest_dir,
+            run_meta={"experiment": "serve",
+                      "argv": ["serve", ticket.job.label],
+                      "seed": ticket.job.seed})
+        sink = _TicketSink(self.loop, self._publish, ticket)
+        runner = JobRunner(options, execute=self.execute, sinks=[sink],
+                           cache=self.cache)
+        t0 = time.monotonic()
+        result = runner.run([ticket.job])[0]
+        wall = time.monotonic() - t0
+        self.registry.counter("serve.executed").inc()
+        self.registry.histogram("serve.job_wall_ms").record(
+            int(wall * 1000))
+        return {"result": result,
+                "meta": {"key": ticket.key[:16], "label": ticket.job.label,
+                         "cache": "miss", "coalesced": False,
+                         "shard": shard,
+                         "run_id": run_id_of(runner.last_manifest),
+                         "manifest": runner.last_manifest,
+                         "wall": round(wall, 6)}}
+
+    # -- completion / streaming ----------------------------------------------
+    def _publish(self, ticket: Ticket, record: Dict[str, Any]) -> None:
+        """Loop-side: fan a telemetry record out to the subscribers."""
+        ticket.events.append(record)
+        for queue in ticket.subscribers:
+            queue.put_nowait(record)
+
+    def _finish(self, ticket: Ticket, outcome=None,
+                error: Optional[JobError] = None) -> None:
+        self.in_flight.pop(ticket.key, None)
+        if not ticket.future.done():
+            if error is not None:
+                ticket.future.set_exception(error)
+            else:
+                ticket.future.set_result(outcome)
+        for queue in ticket.subscribers:
+            queue.put_nowait(None)  # end-of-stream sentinel
+        ticket.subscribers.clear()
+
+    # -- introspection -------------------------------------------------------
+    def health(self) -> Dict[str, Any]:
+        return {
+            "status": "draining" if self.draining else "ok",
+            "uptime_seconds": round(time.time() - self.started_at, 3),
+            "shards": self.options.shards,
+            "queue_depth": self.queue.qsize() if self.queue else 0,
+            "queue_limit": self.options.queue_limit,
+            "in_flight": len(self.in_flight),
+        }
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "health": self.health(),
+            "metrics": self.registry.to_dict(),
+            "cache": self.cache.describe(),
+            "tenants": len(self.buckets),
+        }

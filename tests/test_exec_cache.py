@@ -1,11 +1,12 @@
 """The on-disk content-addressed result cache."""
 
 import json
+import os
 
 import pytest
 
 from repro.exec import ExecOptions, JobRunner, ResultCache, SimJob
-from repro.exec.cache import default_cache_dir
+from repro.exec.cache import default_cache_dir, parse_size
 
 
 @pytest.fixture
@@ -124,6 +125,77 @@ class TestUnwritableRoot:
         assert runner.cache.stats.store_failures == 2
         assert runner.stats.finished == 2
         assert runner.cache.stats.as_dict()["store_failures"] == 2
+
+
+class TestParseSize:
+    @pytest.mark.parametrize("text,expected", [
+        ("0", 0), ("123", 123), ("1K", 1024), ("2k", 2048),
+        ("3M", 3 * 1024 ** 2), ("1G", 1024 ** 3), (" 10M ", 10 * 1024 ** 2),
+    ])
+    def test_accepts_suffixes(self, text, expected):
+        assert parse_size(text) == expected
+
+    @pytest.mark.parametrize("text", ["", "junk", "1.5M", "-3", "K"])
+    def test_rejects_garbage(self, text):
+        with pytest.raises(ValueError):
+            parse_size(text)
+
+
+class TestPrune:
+    def _age(self, path, seconds):
+        stamp = path.stat().st_mtime - seconds
+        os.utime(path, (stamp, stamp))
+
+    def test_evicts_oldest_first(self, store):
+        oldest = store.put(job(seed=1), {"cycles": 1})
+        middle = store.put(job(seed=2), {"cycles": 2})
+        newest = store.put(job(seed=3), {"cycles": 3})
+        self._age(oldest, 300)
+        self._age(middle, 200)
+        self._age(newest, 100)
+        keep = newest.stat().st_size
+        summary = store.prune(max_bytes=keep)
+        assert summary["removed"] == 2
+        assert not oldest.exists() and not middle.exists()
+        assert newest.exists()
+        assert summary["remaining_entries"] == 1
+        assert summary["remaining_bytes"] <= keep
+        assert store.stats.evictions == 2
+
+    def test_noop_under_cap(self, store):
+        store.put(job(), {"cycles": 1})
+        summary = store.prune(max_bytes=10 ** 9)
+        assert summary["removed"] == 0
+        assert summary["freed_bytes"] == 0
+        assert store.entry_count() == 1
+        assert store.stats.evictions == 0
+
+    def test_cap_enforced_during_puts(self, tmp_path, monkeypatch):
+        from repro.exec import cache as cache_module
+        monkeypatch.setattr(cache_module, "PRUNE_INTERVAL", 1)
+        one_entry = ResultCache(tmp_path / "probe")
+        size = one_entry.put(job(), {"cycles": 0}).stat().st_size
+
+        capped = ResultCache(tmp_path / "cache", max_bytes=2 * size + 1)
+        for seed in range(6):
+            capped.put(job(seed=seed), {"cycles": seed})
+        assert capped.entry_count() <= 2
+        assert capped.size_bytes() <= 2 * size + 1
+        assert capped.stats.evictions >= 4
+
+    def test_env_var_sets_cap(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", "2K")
+        assert ResultCache(tmp_path / "c").max_bytes == 2048
+
+    def test_unparseable_env_var_warns_and_disables(self, tmp_path,
+                                                    monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", "lots")
+        with pytest.warns(RuntimeWarning, match="REPRO_CACHE_MAX_BYTES"):
+            assert ResultCache(tmp_path / "c").max_bytes is None
+
+    def test_explicit_cap_beats_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", "1K")
+        assert ResultCache(tmp_path / "c", max_bytes=99).max_bytes == 99
 
 
 class TestCacheThroughEngine:

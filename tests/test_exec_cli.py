@@ -37,6 +37,43 @@ def test_path_honours_env(tmp_path, monkeypatch, capsys):
     assert str(tmp_path / "env-cache") in capsys.readouterr().out
 
 
+def test_prune_to_zero_removes_everything(warm_dir, capsys):
+    assert main(["cache", "prune", "--dir", str(warm_dir),
+                 "--max-bytes", "0"]) == 0
+    assert "pruned 2" in capsys.readouterr().out
+    main(["cache", "stats", "--dir", str(warm_dir)])
+    assert "entries     0" in capsys.readouterr().out
+
+
+def test_prune_under_cap_keeps_entries(warm_dir, capsys):
+    assert main(["cache", "prune", "--dir", str(warm_dir),
+                 "--max-bytes", "1G"]) == 0
+    assert "pruned 0" in capsys.readouterr().out
+
+
+def test_prune_defaults_to_env_cap(warm_dir, capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", "0")
+    assert main(["cache", "prune", "--dir", str(warm_dir)]) == 0
+    assert "pruned 2" in capsys.readouterr().out
+
+
+def test_prune_requires_some_cap(warm_dir):
+    with pytest.raises(SystemExit):
+        main(["cache", "prune", "--dir", str(warm_dir)])
+
+
+def test_prune_rejects_bad_size(warm_dir):
+    with pytest.raises(SystemExit):
+        main(["cache", "prune", "--dir", str(warm_dir),
+              "--max-bytes", "lots"])
+
+
+def test_stats_reports_cap(warm_dir, capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", "1M")
+    main(["cache", "stats", "--dir", str(warm_dir)])
+    assert "size cap" in capsys.readouterr().out
+
+
 def test_requires_subcommand():
     with pytest.raises(SystemExit):
         main([])

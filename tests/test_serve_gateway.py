@@ -1,0 +1,366 @@
+"""The serving gateway: digit-exact parity with direct runs, caching,
+coalescing, admission control, SSE streaming, metrics, structured errors."""
+
+import asyncio
+import json
+import threading
+import time
+
+import pytest
+
+from repro.exec import ExecOptions, JobRunner
+from repro.obs.export import parse_openmetrics
+from repro.serve import (
+    Draining,
+    Gateway,
+    QueueFull,
+    ServeClient,
+    ServeOptions,
+    validate_job_spec,
+)
+from repro.serve.app import App
+
+
+def tiny_spec(**overrides):
+    spec = {"kind": "bar", "benchmark": "compress", "machine": "ooo",
+            "label": "S10", "instructions": 2000, "warmup": 500, "seed": 0}
+    spec.update(overrides)
+    return spec
+
+
+def echo_execute(job):
+    return {"label": job.label, "benchmark": job.benchmark,
+            "seed": job.seed}
+
+
+class LiveServer:
+    """Boot an App on an ephemeral port in a background event loop."""
+
+    def __init__(self, options=None, execute=None):
+        kwargs = {} if execute is None else {"execute": execute}
+        self.gateway = Gateway(options, **kwargs)
+        self.app = App(self.gateway)
+        self.host = None
+        self.port = None
+        self.loop = None
+        self.abandoned = 0
+        self._ready = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self):
+        asyncio.run(self._main())
+
+    async def _main(self):
+        self.loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        self.host, self.port = await self.app.start("127.0.0.1", 0)
+        self._ready.set()
+        await self._stop.wait()
+        self.abandoned = await self.app.shutdown(grace=10)
+
+    def __enter__(self):
+        self._thread.start()
+        assert self._ready.wait(10), "server failed to boot"
+        return self
+
+    def __exit__(self, *exc_info):
+        self.loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(15)
+
+    def client(self, tenant=None):
+        return ServeClient(self.host, self.port, tenant=tenant)
+
+
+@pytest.fixture
+def served(tmp_path):
+    options = ServeOptions(shards=2, cache_dir=str(tmp_path / "cache"),
+                           manifest_dir=str(tmp_path / "runs"))
+    with LiveServer(options) as server:
+        yield server
+
+
+class TestParityWithDirectRuns:
+    def test_served_result_is_digit_exact(self, served, tmp_path):
+        spec = tiny_spec()
+        with served.client() as client:
+            status, outcome = client.submit(spec)
+        assert status == 200
+        assert outcome["meta"]["cache"] == "miss"
+
+        direct = JobRunner(ExecOptions(jobs=1, cache=False)).run(
+            [validate_job_spec(spec)])[0]
+        assert outcome["result"] == direct
+
+    def test_served_manifest_digest_matches_direct_run(self, served,
+                                                       tmp_path):
+        """The config digest in a served run's manifest equals a direct
+        harness run's digest for the same cell — the byte-identity proof."""
+        spec = tiny_spec(seed=7)
+        with served.client() as client:
+            status, outcome = client.submit(spec)
+            assert status == 200
+            run_id = outcome["meta"]["run_id"]
+            status, served_manifest = client.run_manifest(run_id)
+        assert status == 200
+
+        direct_runner = JobRunner(ExecOptions(
+            jobs=1, cache=False, manifest_dir=str(tmp_path / "direct"),
+            run_meta={"experiment": "direct"}))
+        direct_result = direct_runner.run([validate_job_spec(spec)])[0]
+        with open(direct_runner.last_manifest) as fh:
+            direct_manifest = json.load(fh)
+
+        assert (served_manifest["config_digest"]
+                == direct_manifest["config_digest"])
+        assert outcome["result"] == direct_result
+
+    def test_second_submit_hits_the_cache(self, served):
+        spec = tiny_spec(seed=3)
+        with served.client() as client:
+            _, first = client.submit(spec)
+            _, second = client.submit(spec)
+        assert first["meta"]["cache"] == "miss"
+        assert second["meta"]["cache"] == "hit"
+        assert second["result"] == first["result"]
+
+
+class TestCoalescing:
+    def test_identical_concurrent_requests_run_once(self, tmp_path):
+        release = threading.Event()
+        started = threading.Event()
+
+        def gated_execute(job):
+            started.set()
+            assert release.wait(10)
+            return {"label": job.label, "seed": job.seed}
+
+        options = ServeOptions(shards=2,
+                               cache_dir=str(tmp_path / "cache"))
+        with LiveServer(options, execute=gated_execute) as server:
+            spec = tiny_spec()
+            outcomes = [None, None]
+
+            def submit(slot):
+                with server.client() as client:
+                    outcomes[slot] = client.submit(spec)
+
+            first = threading.Thread(target=submit, args=(0,))
+            first.start()
+            assert started.wait(10)  # request 0 is in the engine
+            second = threading.Thread(target=submit, args=(1,))
+            second.start()
+            time.sleep(0.2)  # request 1 reaches the in-flight map
+            release.set()
+            first.join(10)
+            second.join(10)
+
+            counters = server.gateway.registry.counters()
+        assert counters["serve.executed"] == 1
+        assert counters["serve.coalesced"] == 1
+        assert counters.get("serve.cache_hits", 0) == 0
+        (s0, out0), (s1, out1) = outcomes
+        assert s0 == 200 and s1 == 200
+        assert out0["result"] == out1["result"]
+        assert sorted([out0["meta"]["coalesced"],
+                       out1["meta"]["coalesced"]]) == [False, True]
+
+
+class TestAdmission:
+    def test_rate_limit_gives_structured_429(self, tmp_path):
+        options = ServeOptions(shards=1, rate=0.001, burst=1,
+                               cache_dir=str(tmp_path / "cache"))
+        with LiveServer(options, execute=echo_execute) as server:
+            with server.client(tenant="alice") as client:
+                status, _ = client.submit(tiny_spec())
+                assert status == 200
+                status, body = client.submit(tiny_spec(seed=1))
+            assert status == 429
+            assert body["error"] == "rate_limited"
+            assert body["tenant"] == "alice"
+            assert body["retry_after"] > 0
+
+            # A different tenant has its own bucket.
+            with server.client(tenant="bob") as client:
+                status, _ = client.submit(tiny_spec(seed=2))
+            assert status == 200
+
+    def test_full_queue_gives_queue_full(self, tmp_path):
+        def slow_execute(job):
+            time.sleep(0.4)
+            return {"label": job.label}
+
+        async def scenario():
+            gateway = Gateway(ServeOptions(
+                shards=1, queue_limit=1,
+                cache_dir=str(tmp_path / "cache")), execute=slow_execute)
+            await gateway.start()
+            first = asyncio.ensure_future(
+                gateway.submit(tiny_spec(seed=1)))
+            await asyncio.sleep(0.1)  # shard dequeues it
+            second = asyncio.ensure_future(
+                gateway.submit(tiny_spec(seed=2)))
+            await asyncio.sleep(0.05)  # sits in the queue
+            with pytest.raises(QueueFull):
+                await gateway.submit(tiny_spec(seed=3))
+            rejected = gateway.registry.counters()[
+                "serve.rejected.queue_full"]
+            await first
+            await second
+            await gateway.drain(grace=5)
+            return rejected
+
+        assert asyncio.run(scenario()) == 1
+
+    def test_draining_gateway_rejects_submissions(self, tmp_path):
+        async def scenario():
+            gateway = Gateway(ServeOptions(
+                shards=1, cache_dir=str(tmp_path / "cache")),
+                execute=echo_execute)
+            await gateway.start()
+            await gateway.drain(grace=1)
+            with pytest.raises(Draining):
+                await gateway.submit(tiny_spec())
+
+        asyncio.run(scenario())
+
+
+class TestStreaming:
+    def test_sse_replays_schema1_telemetry(self, served):
+        spec = tiny_spec(seed=11)
+        with served.client() as client:
+            status, events = client.submit_stream(spec)
+            _, plain = client.submit(spec)  # now cached: same result
+        assert status == 200
+        names = [e["event"] for e in events]
+        assert names[0] == "header"
+        assert names[-1] == "result"
+        header = events[0]["data"]
+        assert header["schema"] == 1
+        assert header["experiment"] == "serve"
+        kinds = [e["data"]["event"] for e in events
+                 if e["event"] == "telemetry"]
+        assert "queued" in kinds and "started" in kinds
+        assert "finished" in kinds
+        assert events[-1]["data"]["result"] == plain["result"]
+
+    def test_stream_of_invalid_spec_is_plain_400(self, served):
+        with served.client() as client:
+            status, events = client.submit_stream({"kind": "bar"})
+        assert status == 400
+        assert events == [{"error": "invalid_spec", "field": "benchmark",
+                           "message": events[0]["message"]}]
+
+
+class TestIntrospection:
+    def test_healthz(self, served):
+        with served.client() as client:
+            status, body = client.healthz()
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["shards"] == 2
+
+    def test_metrics_round_trip_openmetrics(self, served):
+        with served.client() as client:
+            client.submit(tiny_spec(seed=21))
+            client.submit(tiny_spec(seed=21))
+            status, text = client.metrics_text()
+        assert status == 200
+        parsed = parse_openmetrics(text)
+        counters = parsed["counters"]
+        assert counters["serve_requests"] >= 2
+        assert counters["serve_executed"] >= 1
+        assert counters["serve_cache_hits"] >= 1
+        assert "serve_request_latency_ms" in parsed["histograms"]
+
+    def test_stats_endpoint(self, served):
+        with served.client() as client:
+            client.submit(tiny_spec(seed=31))
+            status, body = client.stats()
+        assert status == 200
+        assert body["health"]["status"] == "ok"
+        assert body["cache"]["entries"] >= 1
+        assert body["metrics"]["counters"]["serve.requests"] >= 1
+
+    def test_runs_lists_served_manifests(self, served):
+        with served.client() as client:
+            _, outcome = client.submit(tiny_spec(seed=41))
+            status, body = client.runs()
+        assert status == 200
+        assert outcome["meta"]["run_id"] in body["runs"]
+
+
+class TestStructuredErrors:
+    """Clients get a definite status and JSON body — never a traceback."""
+
+    def test_unknown_path_is_404(self, served):
+        with served.client() as client:
+            status, body = client.json("GET", "/nope")
+        assert status == 404
+        assert body == {"error": "not_found", "path": "/nope"}
+
+    def test_wrong_method_is_405(self, served):
+        with served.client() as client:
+            status, body = client.json("GET", "/v1/jobs")
+        assert (status, body["error"]) == (405, "method_not_allowed")
+        with served.client() as client:
+            status, body = client.json("POST", "/healthz")
+        assert (status, body["error"]) == (405, "method_not_allowed")
+
+    def test_garbage_body_is_400(self, served):
+        import http.client
+
+        conn = http.client.HTTPConnection(served.host, served.port,
+                                          timeout=10)
+        try:
+            conn.request("POST", "/v1/jobs", body=b"{not json",
+                         headers={"Content-Type": "application/json"})
+            response = conn.getresponse()
+            body = json.loads(response.read())
+        finally:
+            conn.close()
+        assert response.status == 400
+        assert body["error"] == "bad_request"
+
+    def test_invalid_spec_is_structured_400(self, served):
+        with served.client() as client:
+            status, body = client.submit(tiny_spec(machine="vax"))
+        assert status == 400
+        assert body["error"] == "invalid_spec"
+        assert body["field"] == "machine"
+
+    def test_unknown_run_is_404(self, served):
+        with served.client() as client:
+            status, body = client.run_manifest("20000101T000000-none-0-0")
+        assert status == 404
+        assert body["error"] == "run_not_found"
+
+
+class TestGracefulShutdown:
+    def test_in_flight_job_finishes_during_drain(self, tmp_path):
+        release = threading.Event()
+
+        def gated_execute(job):
+            assert release.wait(10)
+            return {"label": job.label}
+
+        options = ServeOptions(shards=1, cache_dir=str(tmp_path / "cache"))
+        server = LiveServer(options, execute=gated_execute)
+        with server:
+            result_box = {}
+
+            def submit():
+                with server.client() as client:
+                    result_box["outcome"] = client.submit(tiny_spec())
+
+            worker = threading.Thread(target=submit)
+            worker.start()
+            time.sleep(0.2)  # the job is in flight, still gated
+            # Release the job only after the drain has begun: the
+            # with-block exit below starts the shutdown while the job is
+            # executing, and the drain must wait for it.
+            threading.Timer(0.3, release.set).start()
+        worker.join(10)
+        status, outcome = result_box["outcome"]
+        assert status == 200
+        assert outcome["result"] == {"label": "compress/ooo/S10"}
+        assert server.abandoned == 0

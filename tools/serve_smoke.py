@@ -1,0 +1,138 @@
+"""CI smoke test for the repro.serve gateway, out of process.
+
+Boots ``python -m repro.serve`` as a real subprocess (ephemeral port,
+ready-file handshake), then:
+
+1. submits a tiny cell and verifies the served result is digit-exact
+   against a direct in-process JobRunner run of the same SimJob;
+2. exercises coalescing: two identical *uncached* concurrent requests
+   must produce exactly one execution and one coalesce;
+3. scrapes ``/healthz`` and ``/metrics`` (the exposition must parse
+   back losslessly) and fetches the served run's manifest;
+4. sends SIGTERM and requires a clean drain: exit code 0.
+
+Usage::
+
+    PYTHONPATH=src python tools/serve_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from repro.exec import ExecOptions, JobRunner
+from repro.obs.export import parse_openmetrics
+from repro.serve import ServeClient, validate_job_spec
+
+SPEC = {"kind": "bar", "benchmark": "compress", "machine": "ooo",
+        "label": "S10", "instructions": 2000, "warmup": 500, "seed": 0}
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def wait_for_ready(ready_file: Path, process, timeout: float = 30.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if process.poll() is not None:
+            fail(f"server exited early with code {process.returncode}")
+        if ready_file.exists() and ready_file.read_text().strip():
+            host, port = ready_file.read_text().split()
+            return host, int(port)
+        time.sleep(0.05)
+    fail("server did not become ready in time")
+
+
+def main() -> int:
+    workdir = Path(tempfile.mkdtemp(prefix="serve-smoke-"))
+    ready = workdir / "ready"
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.serve", "--port", "0",
+         "--shards", "2",
+         "--cache-dir", str(workdir / "cache"),
+         "--manifest-dir", str(workdir / "runs"),
+         "--ready-file", str(ready)])
+    try:
+        host, port = wait_for_ready(ready, process)
+        print(f"server up at {host}:{port}")
+
+        with ServeClient(host, port, timeout=60) as client:
+            status, health = client.healthz()
+            if status != 200 or health["status"] != "ok":
+                fail(f"healthz: {status} {health}")
+            print("healthz OK")
+
+            # 1. Digit-exact parity with a direct engine run.
+            status, outcome = client.submit(SPEC)
+            if status != 200:
+                fail(f"submit: {status} {outcome}")
+            direct = JobRunner(ExecOptions(jobs=1, cache=False)).run(
+                [validate_job_spec(SPEC)])[0]
+            if outcome["result"] != direct:
+                fail("served result differs from a direct JobRunner run")
+            print("digit-exact parity OK")
+
+            # 2. Coalescing: identical uncached concurrent requests.
+            proof = dict(SPEC, seed=777, instructions=20_000, warmup=2_000)
+            outcomes = [None, None]
+
+            def submit(slot):
+                with ServeClient(host, port, timeout=60) as c:
+                    outcomes[slot] = c.submit(proof)
+
+            threads = [threading.Thread(target=submit, args=(i,))
+                       for i in (0, 1)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            if any(s != 200 for s, _ in outcomes):
+                fail(f"coalesce submissions failed: {outcomes}")
+            if outcomes[0][1]["result"] != outcomes[1][1]["result"]:
+                fail("coalesced twins returned different results")
+
+            # 3. Metrics: scrape, parse back, check the proof counters.
+            status, text = client.metrics_text()
+            if status != 200:
+                fail(f"/metrics: {status}")
+            counters = parse_openmetrics(text)["counters"]
+            executed = counters.get("serve_executed")
+            coalesced = counters.get("serve_coalesced")
+            # Exactly 2 executions total: the parity cell + one (not
+            # two!) for the coalesced twins.
+            if executed != 2 or coalesced != 1:
+                fail(f"coalesce proof: executed={executed} "
+                     f"coalesced={coalesced} (want 2 and 1)")
+            print("coalescing OK (executed=2 total, coalesced=1)")
+
+            run_id = outcome["meta"]["run_id"]
+            status, manifest = client.run_manifest(run_id)
+            if status != 200 or manifest["run_id"] != run_id:
+                fail(f"/runs/{run_id}: {status}")
+            print(f"manifest lookup OK ({run_id})")
+
+        # 4. Clean shutdown on SIGTERM.
+        process.send_signal(signal.SIGTERM)
+        code = process.wait(timeout=30)
+        if code != 0:
+            fail(f"server exited with {code} after SIGTERM")
+        print("graceful shutdown OK")
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait(timeout=10)
+    print("serve smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
