@@ -58,6 +58,22 @@ RECORD_TO = os.environ.get("REPRO_HOTPATH_RECORD_TO") or BENCH_PATH
 
 
 # -- scenarios ---------------------------------------------------------------
+def calibration() -> int:
+    """Fixed pure-Python spin: a host-speed yardstick, not a hot path.
+
+    Its timing is recorded alongside the real scenarios so ``harness
+    compare``'s bench mode can divide out host/sitting speed differences
+    (the committed BENCH_hotpath.json note documents ~30% wall drift
+    between sittings on one machine — more across machines).  Comparing
+    calibration-normalized ratios turns the perf-gate's committed-vs-
+    fresh diff into a same-units comparison instead of a drift lottery.
+    """
+    acc = 0
+    for i in range(2_000_000):
+        acc = (acc + i) % 1_000_003
+    return acc
+
+
 def cache_probe_hits() -> int:
     """Steady-state L1 hits: the single most executed memory-layer path."""
     cache = Cache(CacheConfig(size=8 * 1024, assoc=4, line_size=32))
@@ -112,6 +128,7 @@ def ooo_10k() -> int:
 
 
 SCENARIOS = {
+    "calibration": calibration,
     "cache_probe_hits": cache_probe_hits,
     "cache_fill_evictions": cache_fill_evictions,
     "stream_generation": stream_generation,
@@ -122,6 +139,7 @@ SCENARIOS = {
 #: Functional pins: the optimized paths must keep producing these exact
 #: values (simulators and workloads are fully deterministic).
 EXPECTED = {
+    "calibration": 21,
     "cache_probe_hits": 40 * 256,
     "cache_fill_evictions": 20 * 512 - 128,
     "stream_generation": 20_000,

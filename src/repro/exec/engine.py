@@ -114,6 +114,13 @@ class ExecOptions:
     #: a second one raises KeyboardInterrupt.  Off by default so library
     #: callers and tests never have their signal disposition touched.
     install_signal_handlers: bool = False
+    #: Simulation backend for bar jobs ("interp" | "vec", see
+    #: :mod:`repro.vec`); None defers to ``REPRO_BACKEND``.  Plumbed
+    #: through the environment (which forked pool workers inherit, the
+    #: same route ``--sanitize`` uses) — never through the job itself:
+    #: backends are digit-exact, so a :meth:`SimJob.cache_key` is
+    #: backend-free and either backend may serve the shared cache.
+    backend: Optional[str] = None
 
 
 def _timed_call(execute: Callable[[SimJob], Dict[str, Any]],
@@ -140,6 +147,14 @@ class JobRunner:
                  sinks: Sequence = (),
                  cache: Optional[ResultCache] = None) -> None:
         self.options = options or ExecOptions()
+        if self.options.backend is not None:
+            import os
+
+            from repro.vec import BACKEND_ENV, resolve_backend
+
+            # Validates the name (BackendError on a typo) and exports it
+            # so both the serial path and forked pool workers see it.
+            os.environ[BACKEND_ENV] = resolve_backend(self.options.backend)
         self.execute = execute
         self.extra_sinks = list(sinks)
         if cache is not None:

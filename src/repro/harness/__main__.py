@@ -42,6 +42,14 @@ generator seeds; ``--timeout S`` bounds each job's runtime.  Engine-backed
 experiments also refresh their entry in ``BENCH_harness.json``
 (``--bench PATH`` to redirect, ``--no-bench`` to skip).
 
+``--backend {interp,vec}`` picks the simulation backend (see
+:mod:`repro.vec`): ``interp`` is the original object-per-instruction
+interpreter, ``vec`` decodes each workload's op stream once into flat
+arrays and replays it with flat kernels — digit-exact statistics,
+several times faster on cold grids.  The flag sets ``REPRO_BACKEND``
+(pool workers inherit it); the backend is never part of a job's cache
+key, so either backend reads and writes the same result cache.
+
 ``--sanitize`` turns on the runtime invariant sanitizer
 (:mod:`repro.sanitize`): every simulated cell runs with live checks of
 the cache tag stores, MSHR lifetimes and informing-trap semantics, and a
@@ -202,6 +210,13 @@ def main(argv=None) -> int:
                                    "post-hoc)")
     engine_group.add_argument("--progress", action="store_true",
                               help="live progress meter on stderr")
+    engine_group.add_argument("--backend", choices=("interp", "vec"),
+                              default=None,
+                              help="simulation backend (repro.vec): "
+                                   "'interp' object interpreters (the "
+                                   "default), 'vec' flat decoded-stream "
+                                   "replay — digit-exact, faster; also "
+                                   "settable via REPRO_BACKEND")
     engine_group.add_argument("--sanitize", action="store_true",
                               help="run with the runtime invariant "
                                    "sanitizer (repro.sanitize) attached "
@@ -228,6 +243,10 @@ def main(argv=None) -> int:
         # Through the environment rather than plumbed per-job: forked
         # pool workers inherit it, so --jobs N sanitizes every worker.
         os.environ["REPRO_SANITIZE"] = "1"
+    if args.backend:
+        # Same environment route: the backend is an execution detail
+        # (results are digit-exact), never part of a job's cache key.
+        os.environ["REPRO_BACKEND"] = args.backend
     if args.trace_events:
         # Same environment route as --sanitize, so --jobs N traces every
         # worker; REPRO_OBS_DIR alone implies REPRO_OBS.

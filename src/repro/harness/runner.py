@@ -119,6 +119,7 @@ def run_bar(
     sanitize: Optional[bool] = None,
     observe=None,
     trace_dir: Optional[str] = None,
+    backend: Optional[str] = None,
 ) -> BarResult:
     """Run one benchmark/machine/bar combination from scratch.
 
@@ -137,19 +138,34 @@ def run_bar(
     ``<benchmark>_<machine>_<label>.events.jsonl`` and
     ``*.metrics.json`` there; the returned BarResult is bit-exact with
     an unobserved run either way.
+
+    ``backend`` selects the simulation backend (see :mod:`repro.vec`):
+    ``"interp"`` (object interpreters), ``"vec"`` (flat decoded-stream
+    replay, digit-exact with interp), or None to defer to
+    ``REPRO_BACKEND`` — the route the ``--backend`` CLI flag and pool
+    workers share.  The vec backend has no sanitizer/observer hooks and
+    no Python-callback handler support, so those runs (and unsupported
+    bars) transparently use interp; results are identical either way.
     """
     from repro.obs import Observer, maybe_observer, obs_trace_dir
     from repro.sanitize import maybe_sanitizer
+    from repro.vec import resolve_backend, vec_supports
 
-    spec = MACHINES[machine_key]
-    core = build_core(spec, informing=bar.informing)
     san = maybe_sanitizer(sanitize)
-    if san is not None:
-        san.attach(core)
     if isinstance(observe, Observer):
         obs: Optional[Observer] = observe
     else:
         obs = maybe_observer(observe)
+    if (resolve_backend(backend) == "vec" and san is None and obs is None
+            and vec_supports(bar)):
+        from repro.vec import run_bar_vec
+
+        return run_bar_vec(benchmark, machine_key, bar, instructions,
+                           warmup, seed=seed)
+    spec = MACHINES[machine_key]
+    core = build_core(spec, informing=bar.informing)
+    if san is not None:
+        san.attach(core)
     if obs is not None:
         obs.attach(core)
     workload = spec92_workload(benchmark, seed_offset=seed)

@@ -23,6 +23,10 @@ Spec shapes::
 
 ``instructions``/``warmup`` default to the harness defaults and
 ``seed`` to 0, matching ``python -m repro.harness figure2``'s cells.
+A bar spec may name a ``backend`` (``"interp"`` | ``"vec"``, see
+:mod:`repro.vec`): it is validated — an unknown backend is a 400 —
+but deliberately excluded from the SimJob, because backends produce
+digit-exact results and the cache key must stay backend-free.
 ``instructions`` is capped (:data:`MAX_INSTRUCTIONS`) so one request
 cannot wedge a worker shard for hours.
 """
@@ -41,7 +45,7 @@ MAX_INSTRUCTIONS = 2_000_000
 #: a typo like "benchmrk" must not silently fall back to a default).
 _BAR_FIELDS = frozenset(
     ["kind", "benchmark", "machine", "label", "instructions", "warmup",
-     "seed"])
+     "seed", "backend"])
 _AC_FIELDS = frozenset(["kind", "workload", "method", "machine_params"])
 
 
@@ -112,6 +116,22 @@ def _validate_bar(payload: Mapping[str, Any]) -> SimJob:
     warmup = _optional_int(payload, "warmup", DEFAULT_WARMUP, 0,
                            MAX_INSTRUCTIONS)
     seed = _optional_int(payload, "seed", 0, -(2 ** 31), 2 ** 31)
+    if "backend" in payload:
+        # Validated for explicitness (a typo'd backend must 400, not be
+        # silently dropped) but *never* part of the SimJob: backends are
+        # digit-exact, so the job's cache key — the service's identity —
+        # is backend-free, and which backend a shard actually runs is
+        # the server operator's choice (REPRO_BACKEND).
+        from repro.vec import BackendError, resolve_backend
+
+        backend = payload["backend"]
+        if not isinstance(backend, str):
+            raise SpecError("backend", f"must be a string, got "
+                                       f"{type(backend).__name__}")
+        try:
+            resolve_backend(backend)
+        except BackendError as exc:
+            raise SpecError("backend", str(exc))
     return SimJob.bar(benchmark=benchmark, machine=machine, label=label,
                       instructions=instructions, warmup=warmup, seed=seed)
 

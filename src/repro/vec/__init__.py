@@ -1,0 +1,118 @@
+"""repro.vec — the batched/vectorized simulation backend.
+
+The repository carries two backends behind the same ``SimJob``/engine
+interface:
+
+* ``interp`` — the original object-per-instruction interpreters in
+  :mod:`repro.inorder` and :mod:`repro.ooo`.  Always available; the
+  default.
+* ``vec`` — this package.  A workload's dynamic op stream is decoded
+  *once* into flat numpy column arrays (op codes, addresses, register
+  ids — see :mod:`repro.vec.decode`), shared across every grid cell
+  that replays the same benchmark, and advanced by event-driven flat
+  replay kernels (:mod:`repro.vec.inorder`, :mod:`repro.vec.ooo`)
+  that reuse the interp backend's memory hierarchy objects so the
+  simulated statistics are **digit-exact** with ``interp``.
+
+Because results are bit-identical, the backend is *not* part of a
+job's identity: :meth:`repro.exec.SimJob.cache_key` never includes it
+(proven by ``tests/test_vec_parity.py``), and either backend may
+populate or hit the shared result cache.
+
+Selection: the ``--backend {interp,vec}`` harness flag, the
+``backend`` field of a serve job spec, or the ``REPRO_BACKEND``
+environment variable (which forked pool workers inherit, the same
+route ``--sanitize`` uses).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+#: Recognised backend names, in preference-documentation order.
+BACKENDS = ("interp", "vec")
+
+#: Environment variable consulted when no explicit backend is given.
+BACKEND_ENV = "REPRO_BACKEND"
+
+#: The satellite contract: numpy is a runtime dependency of the vec
+#: backend only — everything else in the repository must keep working
+#: without it, with this message pointing at the escape hatch.
+_NUMPY_HINT = (
+    "the 'vec' simulation backend requires numpy (a runtime dependency "
+    "of this package; `pip install numpy` or reinstall the package), "
+    "or re-run with `--backend interp` / REPRO_BACKEND=interp for the "
+    "pure-Python backend — results are bit-identical, just slower")
+
+
+class BackendError(ValueError):
+    """An unknown backend name reached the dispatch layer."""
+
+
+def resolve_backend(explicit: Optional[str] = None) -> str:
+    """The backend to use: *explicit* if given, else ``REPRO_BACKEND``,
+    else ``interp``.
+
+    Raises:
+        BackendError: when the explicit or environment value is not one
+            of :data:`BACKENDS`.
+    """
+    value = explicit
+    source = "backend"
+    if value is None:
+        value = os.environ.get(BACKEND_ENV) or None
+        source = BACKEND_ENV
+    if value is None:
+        return "interp"
+    if value not in BACKENDS:
+        raise BackendError(
+            f"{source}: unknown backend {value!r}; expected one of "
+            f"{list(BACKENDS)}")
+    return value
+
+
+def require_numpy():
+    """Import and return numpy, or raise a directive ImportError."""
+    try:
+        import numpy
+    except ImportError as exc:  # pragma: no cover - numpy present in CI
+        raise ImportError(_NUMPY_HINT) from exc
+    return numpy
+
+
+def vec_supports(bar) -> bool:
+    """Can the vec backend replay this bar digit-exactly?
+
+    The flat replay kernels cover everything the figure grids use: no
+    handler, or :class:`repro.core.handlers.GenericHandler` bodies
+    (single or unique, any length), under either informing mechanism.
+    Python-callback handlers (:class:`CallbackHandler`) run arbitrary
+    user code per miss and fall back to the interp backend.
+    """
+    from repro.core.handlers import GenericHandler
+
+    informing = bar.informing
+    if informing is None or informing.handler is None:
+        return True
+    return type(informing.handler) is GenericHandler
+
+
+def run_bar_vec(benchmark: str, machine_key: str, bar,
+                instructions: int, warmup: int, seed: int = 0):
+    """Run one bar cell on the vec backend (see repro.vec.runner)."""
+    require_numpy()
+    from repro.vec.runner import run_bar_vec as _impl
+    return _impl(benchmark, machine_key, bar, instructions, warmup,
+                 seed=seed)
+
+
+__all__ = [
+    "BACKENDS",
+    "BACKEND_ENV",
+    "BackendError",
+    "resolve_backend",
+    "require_numpy",
+    "run_bar_vec",
+    "vec_supports",
+]
