@@ -1,0 +1,236 @@
+"""The write-ahead run journal: crash-safe, append-only, self-checking.
+
+A :class:`RunJournal` is an append-only JSONL file in which every line is
+a crc32-framed record::
+
+    <crc32 hex8> <canonical JSON payload>\n
+
+The crc is computed over the exact payload bytes, so a torn tail (a
+writer SIGKILLed mid-``write``), a truncated file, or a flipped byte is
+detected on read instead of being half-parsed.  :func:`read_records`
+scans a journal conservatively: it stops at the first record that fails
+the frame check and reports how much it trusted — everything before the
+bad record is intact (appends never rewrite earlier bytes), everything
+after is unknown and treated as never-happened, which for a write-ahead
+log is always the safe direction (work is re-done, never skipped).
+
+Durability is configurable per journal (:data:`FSYNC_POLICIES`):
+
+* ``"always"`` — fsync after every append (the default: a record that
+  was reported written survives a power loss);
+* ``"batch"`` — fsync every :data:`BATCH_FSYNC_INTERVAL` appends and on
+  close (bounded loss window, cheaper under high record rates);
+* ``"off"`` — flush to the OS only (survives a process kill, not a
+  machine crash).
+
+``REPRO_JOURNAL_FSYNC`` overrides the default policy process-wide.
+
+Append failures (ENOSPC, a yanked filesystem, a read-only mount) never
+raise out of :meth:`RunJournal.append`: the journal counts the error,
+disables itself, warns once, and every later append reports ``False`` —
+the run it is journaling must not die for the sake of its log.  Callers
+surface ``journal.errors`` as a named, counted outcome in their own
+telemetry.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import warnings
+import zlib
+from typing import Any, Dict, List, Optional, Tuple
+
+#: Journal layout version, embedded in the header record; readers reject
+#: versions they do not understand instead of mis-parsing.
+JOURNAL_SCHEMA = 1
+
+#: Discriminator record type written as the first line of every journal.
+HEADER_RECORD = "journal_header"
+
+FSYNC_POLICIES = ("always", "batch", "off")
+ENV_FSYNC = "REPRO_JOURNAL_FSYNC"
+BATCH_FSYNC_INTERVAL = 16
+
+#: Conventional journal file name inside a run directory.
+JOURNAL_NAME = "journal.jsonl"
+
+
+def fsync_policy(explicit: Optional[str] = None) -> str:
+    """Resolve the fsync policy: *explicit*, ``REPRO_JOURNAL_FSYNC``, or
+    ``"always"``.  Unknown names raise ValueError (a typo must not
+    silently weaken durability)."""
+    policy = explicit or os.environ.get(ENV_FSYNC, "").strip() or "always"
+    if policy not in FSYNC_POLICIES:
+        raise ValueError(f"unknown fsync policy {policy!r}; "
+                         f"choose from {FSYNC_POLICIES}")
+    return policy
+
+
+def frame(record: Dict[str, Any]) -> str:
+    """One journal line for *record*: ``<crc32 hex8> <canonical json>``."""
+    payload = json.dumps(record, sort_keys=True, separators=(",", ":"),
+                         allow_nan=False)
+    crc = zlib.crc32(payload.encode("utf-8")) & 0xFFFFFFFF
+    return f"{crc:08x} {payload}\n"
+
+
+def unframe(line: str) -> Optional[Dict[str, Any]]:
+    """Parse one journal line; None if the frame or crc check fails."""
+    if len(line) < 10 or line[8] != " ":
+        return None
+    crc_text, payload = line[:8], line[9:]
+    try:
+        expected = int(crc_text, 16)
+    except ValueError:
+        return None
+    if zlib.crc32(payload.encode("utf-8")) & 0xFFFFFFFF != expected:
+        return None
+    try:
+        record = json.loads(payload)
+    except ValueError:
+        return None
+    return record if isinstance(record, dict) else None
+
+
+class RunJournal:
+    """Append-only, crc-framed, fsync-policied record log.
+
+    The journal opens lazily on the first append (so constructing one
+    for a run that journals nothing costs no I/O) and never raises from
+    :meth:`append`: I/O failures disable the journal, are counted in
+    ``errors``, and surface as a one-time RuntimeWarning.
+    """
+
+    def __init__(self, path: str, fsync: Optional[str] = None,
+                 mode: str = "a") -> None:
+        self.path = str(path)
+        self.policy = fsync_policy(fsync)
+        self.errors = 0
+        self.records_written = 0
+        self._mode = mode
+        self._fh = None
+        self._disabled = False
+        self._warned = False
+        self._since_fsync = 0
+
+    @property
+    def disabled(self) -> bool:
+        """True once an I/O failure stopped this journal for good."""
+        return self._disabled
+
+    # -- writing -------------------------------------------------------------
+    def append(self, record: Dict[str, Any]) -> bool:
+        """Durably append one record; False if the journal is disabled.
+
+        A failed append (ENOSPC, EROFS, a vanished directory) counts in
+        ``errors`` and permanently disables the journal — the caller's
+        run continues, merely without crash-safety from here on.
+        """
+        if self._disabled:
+            return False
+        try:
+            if self._fh is None:
+                os.makedirs(os.path.dirname(self.path) or ".",
+                            exist_ok=True)
+                self._fh = open(self.path, self._mode)
+            self._fh.write(frame(record))
+            self._fh.flush()
+            self._maybe_fsync()
+        except (OSError, ValueError) as exc:
+            self._fail(exc)
+            return False
+        self.records_written += 1
+        return True
+
+    def record(self, rec: str, **fields: Any) -> bool:
+        """Append ``{"rec": rec, **fields}``."""
+        return self.append(dict(fields, rec=rec))
+
+    def _maybe_fsync(self) -> None:
+        if self.policy == "off":
+            return
+        self._since_fsync += 1
+        if (self.policy == "always"
+                or self._since_fsync >= BATCH_FSYNC_INTERVAL):
+            os.fsync(self._fh.fileno())
+            self._since_fsync = 0
+
+    def _fail(self, exc: BaseException) -> None:
+        self.errors += 1
+        self._disabled = True
+        if not self._warned:
+            self._warned = True
+            warnings.warn(
+                f"run journal at {self.path} is not writable "
+                f"({type(exc).__name__}: {exc}); the run continues "
+                f"without crash-safety", RuntimeWarning, stacklevel=3)
+        self._close_quietly()
+
+    def _close_quietly(self) -> None:
+        if self._fh is not None:
+            try:
+                self._fh.close()
+            except OSError:
+                pass
+            self._fh = None
+
+    def close(self) -> None:
+        """Flush, fsync (unless ``off``) and close the journal file."""
+        if self._fh is None:
+            return
+        try:
+            self._fh.flush()
+            if self.policy != "off":
+                os.fsync(self._fh.fileno())
+        except (OSError, ValueError) as exc:
+            self._fail(exc)
+            return
+        self._close_quietly()
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def read_records(path: str) -> Tuple[List[Dict[str, Any]], int, bool]:
+    """Scan a journal file; returns ``(records, bad_lines, truncated)``.
+
+    The scan is conservative: it stops at the first line that fails the
+    crc frame (a torn tail, a flipped byte, a half-written record) and
+    reports ``truncated=True`` with ``bad_lines`` counting how many
+    trailing lines were distrusted.  Records before the first bad line
+    are exactly the journal's durable prefix.  A missing file reads as
+    an empty, untruncated journal.
+    """
+    try:
+        with open(path) as fh:
+            lines = fh.read().split("\n")
+    except FileNotFoundError:
+        return [], 0, False
+    if lines and lines[-1] == "":
+        lines.pop()
+    records: List[Dict[str, Any]] = []
+    for index, line in enumerate(lines):
+        record = unframe(line)
+        if record is None:
+            return records, len(lines) - index, True
+        records.append(record)
+    return records, 0, False
+
+
+def header_record(kind: str, **fields: Any) -> Dict[str, Any]:
+    """The self-describing first record of a journal file."""
+    return dict(fields, rec=HEADER_RECORD, kind=kind,
+                schema=JOURNAL_SCHEMA)
+
+
+def check_header(records: List[Dict[str, Any]], kind: str) -> bool:
+    """True when *records* lead with a compatible header for *kind*."""
+    if not records:
+        return False
+    head = records[0]
+    return (head.get("rec") == HEADER_RECORD and head.get("kind") == kind
+            and head.get("schema") == JOURNAL_SCHEMA)

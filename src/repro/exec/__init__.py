@@ -22,6 +22,7 @@ from repro.exec.engine import (
     JobFailedError,
     JobRunner,
     JobTimeoutError,
+    JournalSink,
     TransientJobError,
 )
 from repro.exec.job import (
@@ -32,6 +33,7 @@ from repro.exec.job import (
 )
 from repro.exec.telemetry import (
     DRAINED,
+    REPLAYED,
     RUN_HEADER,
     TELEMETRY_SCHEMA,
     CollectingSink,
@@ -47,6 +49,7 @@ from repro.exec.telemetry import (
 __all__ = [
     "DEFAULT_BENCH_PATH",
     "DRAINED",
+    "REPLAYED",
     "RUN_HEADER",
     "TELEMETRY_SCHEMA",
     "atomic_write_json",
@@ -67,6 +70,7 @@ __all__ = [
     "JobTimeoutError",
     "JobFailedError",
     "JobEvent",
+    "JournalSink",
     "JsonlTraceSink",
     "CollectingSink",
     "MultiSink",

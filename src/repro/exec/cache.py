@@ -10,6 +10,19 @@ rather than silently reused.
 
 Writes are atomic (temp file + ``os.replace``) so a crashed or concurrent
 run can never leave a half-written blob that later reads as a corrupt hit.
+
+Integrity: every blob carries a ``crc`` — crc32 over the canonical JSON
+of the blob minus the crc field itself — and every read verifies it.  An
+entry that fails the check (bit rot, torn storage, a hand-edited file) is
+*quarantined*: moved to ``<root>/quarantine/`` and counted in
+``stats.corrupt``, never returned as a hit and never a traceback.  A file
+the OS refuses to read (permissions, I/O error) is left in place and
+counted in ``stats.read_errors`` — it may be readable next time.
+``verify()`` / ``repair()`` run the same checks over the whole store for
+the ``cache verify`` / ``cache repair`` CLI subcommands, and
+``sweep_tmp()`` collects ``.tmp.<pid>`` droppings from writers killed
+between ``write_text`` and ``os.replace`` (age-guarded so a live writer's
+temp file survives).
 """
 
 from __future__ import annotations
@@ -18,6 +31,7 @@ import json
 import os
 import time
 import warnings
+import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Optional
@@ -30,6 +44,26 @@ _ENV_MAX_BYTES = "REPRO_CACHE_MAX_BYTES"
 #: With a size cap set, the cap is re-enforced every this many stores
 #: (a full enforcement walks the store; per-put would be quadratic).
 PRUNE_INTERVAL = 32
+
+#: Where integrity-failed entries are moved (never silently deleted, so
+#: a corruption burst can be investigated post hoc).
+QUARANTINE_DIRNAME = "quarantine"
+
+#: A ``.tmp.<pid>`` file younger than this is presumed to belong to a
+#: live writer mid-``os.replace`` and is left alone by the sweeps.
+TMP_MAX_AGE_SECONDS = 3600.0
+
+
+def _canonical(obj: Any) -> str:
+    """Canonical JSON: the byte-stable form the blob crc is computed over
+    (independent of the pretty-printed on-disk formatting)."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def blob_crc(blob: Dict[str, Any]) -> str:
+    """The crc32 (hex8) of *blob* excluding its own ``crc`` field."""
+    body = {k: v for k, v in blob.items() if k != "crc"}
+    return f"{zlib.crc32(_canonical(body).encode('utf-8')) & 0xFFFFFFFF:08x}"
 
 
 def parse_size(text: str) -> int:
@@ -64,9 +98,11 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     stores: int = 0
-    invalidations: int = 0  # stale-schema or corrupt entries dropped
+    invalidations: int = 0  # stale-schema or undecodable entries dropped
     store_failures: int = 0  # writes skipped (disk full, read-only root...)
     evictions: int = 0  # entries pruned to keep the store under its cap
+    corrupt: int = 0  # entries that failed the crc check -> quarantined
+    read_errors: int = 0  # OS-level read failures (entry left in place)
 
     @property
     def lookups(self) -> int:
@@ -81,6 +117,8 @@ class CacheStats:
                 "stores": self.stores, "invalidations": self.invalidations,
                 "store_failures": self.store_failures,
                 "evictions": self.evictions,
+                "corrupt": self.corrupt,
+                "read_errors": self.read_errors,
                 "hit_rate": round(self.hit_rate, 4)}
 
 
@@ -117,26 +155,56 @@ class ResultCache:
     def get(self, job: SimJob) -> Optional[Dict[str, Any]]:
         """Return the cached result dict for *job*, or None on a miss.
 
-        Entries with a different schema version, or that fail to parse,
-        are deleted and counted as invalidations (and the lookup as a
-        miss).
+        Every non-hit outcome is a counted, named miss:
+
+        * a file the OS cannot read right now counts in
+          ``stats.read_errors`` and stays on disk (transient errors —
+          permissions, NFS hiccups — may clear);
+        * an entry that fails integrity (undecodable JSON, bad crc)
+          counts in ``stats.corrupt`` and is quarantined, so it stops
+          costing a parse on every probe and stays inspectable;
+        * an entry from another schema version, or one predating the
+          embedded checksum, counts in ``stats.invalidations`` and is
+          deleted (honest staleness, not damage).
         """
         path = self.path_for(job.cache_key())
         try:
-            blob = json.loads(path.read_text())
+            raw = path.read_bytes()
         except FileNotFoundError:
             self.stats.misses += 1
             return None
-        except (OSError, json.JSONDecodeError):
-            self._drop(path)
+        except OSError:
+            self.stats.read_errors += 1
             self.stats.misses += 1
             return None
-        if blob.get("schema") != SCHEMA_VERSION or "result" not in blob:
+        status, blob = self._classify(raw)
+        if status == "corrupt":
+            self._quarantine(path)
+            self.stats.misses += 1
+            return None
+        if status == "stale":
             self._drop(path)
             self.stats.misses += 1
             return None
         self.stats.hits += 1
         return blob["result"]
+
+    def _classify(self, raw: bytes):
+        """Integrity-check one blob's bytes: ``(status, blob_or_None)``
+        with status ``"ok"`` | ``"corrupt"`` | ``"stale"``."""
+        try:
+            blob = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            # A bit flip can damage the encoding as easily as the JSON.
+            return "corrupt", None
+        if (not isinstance(blob, dict)
+                or blob.get("schema") != SCHEMA_VERSION
+                or "result" not in blob or "crc" not in blob):
+            # Wrong schema or a pre-checksum blob: stale, not damaged.
+            return "stale", None
+        if blob["crc"] != blob_crc(blob):
+            return "corrupt", None
+        return "ok", blob
 
     def put(self, job: SimJob, result: Dict[str, Any]) -> Optional[Path]:
         """Store *result* for *job* atomically; returns the blob path.
@@ -156,6 +224,7 @@ class ResultCache:
             "result": result,
             "created": time.time(),
         }
+        blob["crc"] = blob_crc(blob)
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
@@ -187,6 +256,25 @@ class ResultCache:
             path.unlink()
         except OSError:
             pass
+
+    def _quarantine(self, path: Path) -> None:
+        """Move an integrity-failed entry to ``<root>/quarantine/``.
+
+        The move keeps the damaged bytes around for a post-mortem while
+        taking them out of the lookup path.  If even the move fails the
+        entry is deleted; either way the probe degrades to a counted
+        miss, never a traceback.
+        """
+        self.stats.corrupt += 1
+        qdir = self.root / QUARANTINE_DIRNAME
+        try:
+            qdir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, qdir / path.name)
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:
+                pass
 
     # -- maintenance ---------------------------------------------------------
     def _entries(self):
@@ -246,7 +334,76 @@ class ResultCache:
         return {"removed": removed, "freed_bytes": freed,
                 "remaining_bytes": total,
                 "remaining_entries": len(entries) - removed,
-                "max_bytes": max_bytes}
+                "max_bytes": max_bytes,
+                "tmp_swept": self.sweep_tmp()}
+
+    # -- integrity -----------------------------------------------------------
+    def sweep_tmp(self, max_age: float = TMP_MAX_AGE_SECONDS) -> int:
+        """Delete ``.tmp.<pid>`` files older than *max_age* seconds.
+
+        These are the droppings of writers killed between ``write_text``
+        and ``os.replace``.  The age guard keeps a live writer's temp
+        file (by construction younger than its own in-flight put) safe
+        from a concurrent sweep; returns the number removed.
+        """
+        removed = 0
+        if not self.root.is_dir():
+            return 0
+        now = time.time()
+        for path in list(self.root.glob("??/*.tmp.*")):
+            try:
+                if now - path.stat().st_mtime < max_age:
+                    continue
+                path.unlink()
+                removed += 1
+            except OSError:
+                continue
+        return removed
+
+    def verify(self, repair: bool = False,
+               tmp_max_age: float = TMP_MAX_AGE_SECONDS) -> Dict[str, Any]:
+        """Integrity-scan every entry; optionally act on what it finds.
+
+        With ``repair=False`` the scan only classifies (and sweeps stale
+        temp files — that is always safe); with ``repair=True`` corrupt
+        entries are quarantined and stale-schema entries deleted, exactly
+        as a ``get()`` on each of them would have done.  Returns a
+        summary dict for the ``cache verify`` / ``cache repair`` CLI.
+        """
+        checked = ok = corrupt = stale = read_errors = 0
+        quarantined = removed_stale = 0
+        for path in list(self._entries()):
+            checked += 1
+            try:
+                raw = path.read_bytes()
+            except OSError:
+                read_errors += 1
+                self.stats.read_errors += 1
+                continue
+            status, _ = self._classify(raw)
+            if status == "ok":
+                ok += 1
+            elif status == "corrupt":
+                corrupt += 1
+                if repair:
+                    self._quarantine(path)
+                    quarantined += 1
+            else:
+                stale += 1
+                if repair:
+                    self._drop(path)
+                    removed_stale += 1
+        return {"checked": checked, "ok": ok, "corrupt": corrupt,
+                "stale": stale, "read_errors": read_errors,
+                "quarantined": quarantined, "removed_stale": removed_stale,
+                "tmp_swept": self.sweep_tmp(tmp_max_age), "repair": repair}
+
+    def quarantine_count(self) -> int:
+        """Entries currently sitting in ``<root>/quarantine/``."""
+        qdir = self.root / QUARANTINE_DIRNAME
+        if not qdir.is_dir():
+            return 0
+        return sum(1 for entry in qdir.iterdir() if entry.is_file())
 
     def enforce_cap(self) -> Optional[Dict[str, Any]]:
         """Prune back under ``max_bytes``, when a cap is configured."""
@@ -263,5 +420,6 @@ class ResultCache:
             "entries": self.entry_count(),
             "size_bytes": self.size_bytes(),
             "max_bytes": self.max_bytes,
+            "quarantined": self.quarantine_count(),
             "session": self.stats.as_dict(),
         }

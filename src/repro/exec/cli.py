@@ -7,12 +7,18 @@ Subcommands::
     python -m repro.exec cache path     # print the cache directory
     python -m repro.exec cache prune --max-bytes 500M
                                         # evict oldest entries over the cap
+    python -m repro.exec cache verify   # integrity-scan every entry
+    python -m repro.exec cache repair   # ... and quarantine/drop the bad
 
 The cache directory is ``~/.cache/repro-exec`` unless ``REPRO_CACHE_DIR``
 or ``--dir`` says otherwise.  ``prune`` keeps the store bounded under
 sustained service traffic: entries are evicted oldest-mtime first until
 the store fits ``--max-bytes`` (suffixes K/M/G accepted; defaults to
-``REPRO_CACHE_MAX_BYTES`` when set).
+``REPRO_CACHE_MAX_BYTES`` when set).  ``verify`` crc-checks every blob
+and reports ok/corrupt/stale counts (exit 1 when corruption is found);
+``repair`` additionally quarantines corrupt entries and deletes
+stale-schema ones.  Both, like ``prune``, sweep aged-out ``.tmp.<pid>``
+files left by writers killed mid-store.
 """
 
 from __future__ import annotations
@@ -29,7 +35,8 @@ def main(argv=None) -> int:
     sub = parser.add_subparsers(dest="command", required=True)
     cache = sub.add_parser("cache",
                            help="inspect, prune or purge the result cache")
-    cache.add_argument("action", choices=["stats", "purge", "path", "prune"])
+    cache.add_argument("action", choices=["stats", "purge", "path", "prune",
+                                          "verify", "repair"])
     cache.add_argument("--dir", default=None,
                        help="cache directory (default: REPRO_CACHE_DIR or "
                             "~/.cache/repro-exec)")
@@ -48,6 +55,8 @@ def main(argv=None) -> int:
         print(f"schema      v{info['schema']}")
         print(f"entries     {info['entries']}")
         print(f"size        {info['size_bytes']} bytes")
+        if info["quarantined"]:
+            print(f"quarantined {info['quarantined']}")
         if info["max_bytes"] is not None:
             print(f"size cap    {info['max_bytes']} bytes")
     elif args.action == "purge":
@@ -68,7 +77,27 @@ def main(argv=None) -> int:
               f"{summary['freed_bytes']} bytes freed; "
               f"{summary['remaining_entries']} entr(y/ies) / "
               f"{summary['remaining_bytes']} bytes remain "
-              f"(cap {summary['max_bytes']})")
+              f"(cap {summary['max_bytes']}); "
+              f"{summary['tmp_swept']} stale tmp file(s) swept")
+    elif args.action in ("verify", "repair"):
+        summary = store.verify(repair=args.action == "repair")
+        print(f"verified {summary['checked']} entr(y/ies): "
+              f"{summary['ok']} ok, {summary['corrupt']} corrupt, "
+              f"{summary['stale']} stale, "
+              f"{summary['read_errors']} unreadable; "
+              f"{summary['tmp_swept']} stale tmp file(s) swept")
+        if summary["repair"]:
+            print(f"repair: {summary['quarantined']} quarantined to "
+                  f"{store.root}/quarantine, "
+                  f"{summary['removed_stale']} stale entr(y/ies) removed")
+        elif summary["corrupt"] or summary["stale"]:
+            print("run `cache repair` to quarantine corrupt entries and "
+                  "drop stale ones")
+        # Unrepaired corruption is the only failing outcome: stale
+        # entries are routine schema turnover, and repair leaves the
+        # store clean by construction.
+        if summary["corrupt"] and not summary["repair"]:
+            return 1
     return 0
 
 

@@ -42,6 +42,7 @@ killed pool could drop the trailing JSONL events and leave no manifest.
 from __future__ import annotations
 
 import contextlib
+import os
 import signal
 import threading
 import time
@@ -60,6 +61,7 @@ from repro.exec.telemetry import (
     FINISHED,
     POOL_BROKEN,
     QUEUED,
+    REPLAYED,
     RETRIED,
     STARTED,
     CollectingSink,
@@ -114,6 +116,17 @@ class ExecOptions:
     #: a second one raises KeyboardInterrupt.  Off by default so library
     #: callers and tests never have their signal disposition touched.
     install_signal_handlers: bool = False
+    #: Write-ahead run journal (repro.durable): each run() appends
+    #: crc32-framed job start/finish/fail records to
+    #: ``<journal_dir>/<run_id>/journal.jsonl`` so a killed grid can be
+    #: continued with ``harness resume <run_id>``.  Active only when a
+    #: journal directory resolves (``journal_dir``, else ``manifest_dir``);
+    #: set False to switch journaling off even then.
+    journal: bool = True
+    journal_dir: Optional[str] = None
+    #: fsync policy for the journal ("always" | "batch" | "off"); None
+    #: defers to ``REPRO_JOURNAL_FSYNC``, then "always".
+    journal_fsync: Optional[str] = None
     #: Simulation backend for bar jobs ("interp" | "vec", see
     #: :mod:`repro.vec`); None defers to ``REPRO_BACKEND``.  Plumbed
     #: through the environment (which forked pool workers inherit, the
@@ -134,6 +147,37 @@ def _timed_call(execute: Callable[[SimJob], Dict[str, Any]],
     return result, time.perf_counter() - start
 
 
+class JournalSink:
+    """Telemetry sink that mirrors job lifecycle events into a
+    :class:`repro.durable.RunJournal`.
+
+    Because the engine stores a result in the cache *before* emitting
+    FINISHED, a journaled ``job_finish`` implies the result is durably
+    cached — the invariant ``harness resume`` relies on to skip
+    completed cells.  Append failures are absorbed by the journal itself
+    (counted, never raised), so this sink can never take a run down.
+    """
+
+    _RECORDS = {STARTED: "job_start", FINISHED: "job_finish",
+                FAILED: "job_fail", RETRIED: "job_retry",
+                DRAINED: "job_drained", POOL_BROKEN: "pool_broken"}
+
+    def __init__(self, journal) -> None:
+        self.journal = journal
+
+    def emit(self, event: JobEvent) -> None:
+        rec = self._RECORDS.get(event.event)
+        if rec is None:
+            return
+        fields: Dict[str, Any] = {"key": event.key, "label": event.label,
+                                  "attempt": event.attempt}
+        if event.cache is not None:
+            fields["cache"] = event.cache
+        if event.error is not None:
+            fields["error"] = event.error
+        self.journal.record(rec, **fields)
+
+
 class JobRunner:
     """Execute SimJobs through the cache/scheduler/telemetry stack.
 
@@ -148,8 +192,6 @@ class JobRunner:
                  cache: Optional[ResultCache] = None) -> None:
         self.options = options or ExecOptions()
         if self.options.backend is not None:
-            import os
-
             from repro.vec import BACKEND_ENV, resolve_backend
 
             # Validates the name (BackendError on a typo) and exports it
@@ -168,6 +210,11 @@ class JobRunner:
         #: Path of the most recent run's manifest.json (repro.perf), when
         #: ``options.manifest_dir`` is set and the write succeeded.
         self.last_manifest: Optional[str] = None
+        #: Run id and journal path of the most recent run(), when
+        #: journaling was active (``harness resume <last_run_id>``
+        #: continues that run after a kill).
+        self.last_run_id: Optional[str] = None
+        self.last_journal: Optional[str] = None
         self._trace_opened = False
         self._drain = False
 
@@ -248,10 +295,38 @@ class JobRunner:
             workers=self.options.jobs,
             jobs=total)
 
-    def _build_sink(self, total: int):
+    def _open_journal(self, total: int):
+        """Start the write-ahead journal for one run(), if configured.
+
+        Returns ``(run_id, journal)`` — ``(None, None)`` when journaling
+        is off or no journal directory resolves.  The run id is minted
+        here (not at manifest-write time) so the journal and the manifest
+        share one ``<root>/<run_id>/`` directory and a kill before the
+        manifest still leaves a resumable run on disk.
+        """
+        root = self.options.journal_dir or self.options.manifest_dir
+        if not self.options.journal or not root:
+            return None, None
+        from repro.durable.journal import (JOURNAL_NAME, RunJournal,
+                                           header_record)
+        from repro.perf.manifest import new_run_id
+
+        meta = self.options.run_meta or {}
+        run_id = new_run_id(meta.get("experiment"))
+        journal = RunJournal(os.path.join(root, run_id, JOURNAL_NAME),
+                             fsync=self.options.journal_fsync)
+        journal.append(header_record(
+            "exec_run", run_id=run_id, experiment=meta.get("experiment"),
+            argv=meta.get("argv"), seed=meta.get("seed"),
+            workers=self.options.jobs, jobs=total, started=time.time()))
+        return run_id, journal
+
+    def _build_sink(self, total: int, journal=None):
         sinks: List = [self.stats] + self.extra_sinks
         trace = None
         collector = None
+        if journal is not None:
+            sinks.append(JournalSink(journal))
         if self.options.trace_path:
             # First grid truncates any stale file; later grids of the
             # same runner (multi-grid experiments) append to the stream.
@@ -268,54 +343,95 @@ class JobRunner:
         return (MultiSink(sinks) if sinks else NullSink()), trace, collector
 
     # -- main entry ----------------------------------------------------------
-    def run(self, jobs: Sequence[SimJob]) -> List[Dict[str, Any]]:
+    def run(self, jobs: Sequence[SimJob],
+            resume=None) -> List[Dict[str, Any]]:
         """Run *jobs* and return their result dicts in the same order.
 
         ``self.stats`` accumulates across calls (an experiment like
         ``sensitivity`` submits several grids through one runner); build a
         fresh JobRunner for independent accounting.
+
+        *resume* is a :class:`repro.durable.RunState` (or anything with
+        ``completed``/``attempts`` keyed by cache key): journal-completed
+        cells are replayed from the cache without re-executing (a
+        ``replayed`` event plus FINISHED with ``cache="replay"``), and
+        re-run cells inherit their journaled attempt counts so the retry
+        budget spans the interrupted run and the resume.  A completed
+        cell whose cache entry was lost or quarantined silently re-runs.
         """
-        sink, trace, collector = self._build_sink(len(jobs))
+        run_id, journal = self._open_journal(len(jobs))
+        sink, trace, collector = self._build_sink(len(jobs), journal)
         run_start = time.perf_counter()
         results: List[Optional[Dict[str, Any]]] = [None] * len(jobs)
         error: Optional[BaseException] = None
+        completed = getattr(resume, "completed", None) or {}
+        carried = dict(getattr(resume, "attempts", None) or {})
         try:
             with self._graceful_signals():
                 keys = [job.cache_key() for job in jobs]
+                if journal is not None:
+                    journal.record(
+                        "run_start", run_id=run_id,
+                        jobs=[{"key": key, "job": job.to_dict()}
+                              for job, key in zip(jobs, keys)])
                 pending: List[int] = []
+                attempts0: Dict[int, int] = {}
                 for index, (job, key) in enumerate(zip(jobs, keys)):
                     self._emit(sink, QUEUED, job, key)
                     cached = self.cache.get(job) if self.cache else None
-                    if cached is not None:
+                    if cached is not None and key in completed:
+                        results[index] = cached
+                        self._emit(sink, REPLAYED, job, key)
+                        self._emit(sink, FINISHED, job, key,
+                                   cache="replay", wall=0.0)
+                    elif cached is not None:
                         results[index] = cached
                         self._emit(sink, CACHE_HIT, job, key)
                         self._emit(sink, FINISHED, job, key, cache="hit",
                                    wall=0.0)
                     else:
                         pending.append(index)
+                        if carried.get(key):
+                            attempts0[index] = int(carried[key])
 
                 if pending:
                     if self.options.jobs <= 1:
-                        self._run_serial(jobs, keys, pending, results, sink)
+                        self._run_serial(jobs, keys, pending, results, sink,
+                                         attempts=attempts0 or None)
                     else:
                         self._run_parallel(jobs, keys, pending, results,
-                                           sink)
+                                           sink,
+                                           initial_attempts=attempts0)
             return results  # type: ignore[return-value]
         except BaseException as exc:
             error = exc
             raise
         finally:
             self.stats.wall += time.perf_counter() - run_start
+            if journal is not None:
+                status = ("failed" if error is not None
+                          else "drained" if self._drain else "ok")
+                journal.record("run_end", status=status,
+                               finished=time.time())
+                journal.close()
+                self.stats.journal_errors += journal.errors
+                self.last_run_id = run_id
+                self.last_journal = (journal.path if journal.records_written
+                                     else None)
             if trace is not None:
                 trace.close()
             if collector is not None:
-                self._write_manifest(jobs, results, collector, error)
+                self._write_manifest(jobs, results, collector, error,
+                                     run_id=run_id)
 
-    def _write_manifest(self, jobs, results, collector, error) -> None:
+    def _write_manifest(self, jobs, results, collector, error,
+                        run_id=None) -> None:
         """Cross-run observatory hook: persist this run's manifest.
 
         Imported lazily so repro.exec keeps no hard dependency on
         repro.perf; a manifest-write failure never masks the run itself.
+        *run_id* ties the manifest to the run's journal directory when
+        journaling was active.
         """
         from repro.perf.manifest import write_run_manifest
 
@@ -323,7 +439,7 @@ class JobRunner:
             self.last_manifest = write_run_manifest(
                 self.options.manifest_dir, jobs=jobs, results=results,
                 events=collector.events, runner=self,
-                error=error)
+                error=error, run_id=run_id)
         except OSError:
             self.last_manifest = None
 
@@ -387,7 +503,9 @@ class JobRunner:
             except Exception:
                 pass
 
-    def _run_parallel(self, jobs, keys, pending, results, sink) -> None:
+    def _run_parallel(self, jobs, keys, pending, results, sink,
+                      initial_attempts: Optional[Dict[int, int]] = None
+                      ) -> None:
         cache_state = "miss" if self.cache else "off"
         workers = min(self.options.jobs, len(pending))
         timeout = self.options.timeout
@@ -395,10 +513,13 @@ class JobRunner:
         aborted = False
         try:
             futures = {}
-            attempts = {index: 0 for index in pending}
+            # Seed attempt counts carried in from a resumed run so the
+            # retry budget bounds total attempts across both runs.
+            attempts = {index: (initial_attempts or {}).get(index, 0)
+                        for index in pending}
             for index in pending:
                 self._emit(sink, STARTED, jobs[index], keys[index],
-                           attempt=0)
+                           attempt=attempts[index])
                 futures[index] = pool.submit(_timed_call, self.execute,
                                              jobs[index])
             # Collect in submission order; retries resubmit in place.

@@ -37,6 +37,10 @@ POOL_BROKEN = "pool_broken"
 #: ``request_drain()``): this job was given up without being executed.
 #: In-flight jobs still finish and flush; only not-yet-started work drains.
 DRAINED = "drained"
+#: A resumed run (``harness resume``) served this job from the result
+#: cache because the interrupted run's journal marked it finished — the
+#: cell was not re-executed.  Followed by FINISHED with ``cache="replay"``.
+REPLAYED = "replayed"
 #: Stream-level header record: always the first line of a telemetry JSONL
 #: stream, carrying the schema version and run provenance so consumers
 #: (``harness watch`` / ``harness compare``) can self-describe the file.
@@ -207,6 +211,9 @@ class RunTelemetry:
     pool_breaks: int = 0         # worker pools lost to dead workers
     violations: int = 0          # failures carrying an InvariantViolation
     drained: int = 0             # jobs given up to a graceful drain
+    replayed: int = 0            # cells skipped via journal on a resume
+    journal_errors: int = 0      # run-journal appends that failed (folded
+                                 # in by the engine, not event-driven)
     job_walls: List[float] = field(default_factory=list)
     started_at: float = field(default_factory=time.time)
     wall: float = 0.0
@@ -234,6 +241,8 @@ class RunTelemetry:
                 self.violations += 1
         elif event.event == POOL_BROKEN:
             self.pool_breaks += 1
+        elif event.event == REPLAYED:
+            self.replayed += 1
 
     @property
     def cache_hit_rate(self) -> float:
@@ -254,6 +263,8 @@ class RunTelemetry:
             "pool_breaks": self.pool_breaks,
             "violations": self.violations,
             "drained": self.drained,
+            "replayed": self.replayed,
+            "journal_errors": self.journal_errors,
             "wall_seconds": round(self.wall, 4),
             "mean_job_seconds": (round(sum(walls) / len(walls), 4)
                                  if walls else 0.0),

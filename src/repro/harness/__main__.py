@@ -18,6 +18,7 @@ Usage::
     python -m repro.harness compare RUN_A RUN_B [--json] [--trace-dir]
     python -m repro.harness watch TELEMETRY_JSONL [--follow]
     python -m repro.harness serve [--port P] [--shards N] ...
+    python -m repro.harness resume RUN_ID [--jobs N] [--backend B]
 
 ``profile`` wraps any other invocation in cProfile and prints the top-N
 hot functions afterwards, e.g.::
@@ -67,6 +68,15 @@ confidence intervals — or two ``BENCH_*.json`` snapshots, or two
 ``--trace-dir`` obs artifact directories.  ``watch`` follows a running
 grid's ``--trace`` JSONL live (per-job state, utilization, cache hits,
 throughput, ETA).
+
+Crash safety (see :mod:`repro.durable`): every engine-backed run also
+appends a crc32-framed write-ahead journal
+(``results/runs/<run_id>/journal.jsonl``) recording each cell's
+start/finish/fail.  If a run is SIGKILLed mid-grid, ``resume <run_id>``
+continues it exactly where it died — journal-completed cells replay from
+the result cache (never re-simulated), incomplete cells re-run with
+their attempt counts carried over, and the resumed figure is digit-exact
+with an uninterrupted run.
 
 ``--trace-events DIR`` turns on the observability layer
 (:mod:`repro.obs`) the same way — it sets ``REPRO_OBS=1`` and
@@ -347,6 +357,8 @@ def main(argv=None) -> int:
         print(engine.stats.summary())
         if engine.last_manifest:
             print(f"run manifest: {engine.last_manifest}")
+        if engine.last_journal:
+            print(f"run journal: {engine.last_journal}")
         if not args.no_bench:
             from repro.exec import DEFAULT_BENCH_PATH, record_run
             bench_path = args.bench or DEFAULT_BENCH_PATH
@@ -424,6 +436,9 @@ def dispatch(argv=None) -> int:
     if argv and argv[0] == "serve":
         from repro.serve.cli import main as serve_main
         return serve_main(argv[1:])
+    if argv and argv[0] == "resume":
+        from repro.durable import resume_main
+        return resume_main(argv[1:])
     return main(argv)
 
 

@@ -173,6 +173,8 @@ def build_manifest(jobs: Sequence,
         "workers": runner.options.jobs,
         "cache_enabled": runner.cache is not None,
         "telemetry_path": runner.options.trace_path,
+        "journal_path": getattr(runner, "last_journal", None),
+        "resumed_from": meta.get("resumed_from"),
         "status": ("failed" if error is not None else
                    "drained" if getattr(runner, "draining", False) else "ok"),
         "error": (f"{type(error).__name__}: {error}"
@@ -183,9 +185,15 @@ def build_manifest(jobs: Sequence,
 
 
 def write_run_manifest(directory: Optional[str], jobs, results, events,
-                       runner, error: Optional[BaseException] = None) -> str:
-    """Write ``<directory>/<run_id>/manifest.json``; return its path."""
-    manifest = build_manifest(jobs, results, events, runner, error=error)
+                       runner, error: Optional[BaseException] = None,
+                       run_id: Optional[str] = None) -> str:
+    """Write ``<directory>/<run_id>/manifest.json``; return its path.
+
+    *run_id* pins the directory when the engine already minted one for
+    its journal, so journal and manifest land side by side.
+    """
+    manifest = build_manifest(jobs, results, events, runner, error=error,
+                              run_id=run_id)
     run_dir = os.path.join(runs_root(directory), manifest["run_id"])
     os.makedirs(run_dir, exist_ok=True)
     path = os.path.join(run_dir, "manifest.json")

@@ -242,3 +242,65 @@ def chaos_execute(job) -> Dict[str, Any]:
             "chaos: simulated in-run invariant violation",
             {"mshr_id": 3, "line": "0x40"})
     return {"label": job.label, "ok": True}
+
+
+# -- service-level chaos (storage faults) --------------------------------------
+# Filesystem-shaped damage for the durability suites: each helper
+# produces exactly the on-disk state a real fault leaves behind, so the
+# journal reader, cache verifier and gateway recovery can be tested
+# against honest wreckage instead of synthetic mocks.
+
+def flip_byte(path: str, offset: Optional[int] = None,
+              mask: int = 0xFF) -> int:
+    """Bit-rot one byte of *path* in place; returns the offset flipped.
+
+    *offset* defaults to the middle of the file; *mask* is XORed in (the
+    default inverts the byte, guaranteeing a change).  Raises ValueError
+    on an empty file or a zero mask — a flip that flips nothing would
+    silently turn a corruption test vacuous.
+    """
+    if mask == 0:
+        raise ValueError("mask 0 would not change the byte")
+    with open(path, "r+b") as fh:
+        data = fh.read()
+        if not data:
+            raise ValueError(f"cannot flip a byte of empty file {path}")
+        pos = (len(data) // 2 if offset is None else offset) % len(data)
+        fh.seek(pos)
+        fh.write(bytes([data[pos] ^ mask]))
+    return pos
+
+
+def truncate_tail(path: str, drop_bytes: int) -> int:
+    """Tear *drop_bytes* off the end of *path* — the state a writer
+    SIGKILLed mid-append (or a lost disk flush) leaves behind.  Returns
+    the new size."""
+    size = max(0, os.path.getsize(path) - drop_bytes)
+    with open(path, "r+b") as fh:
+        fh.truncate(size)
+    return size
+
+
+def arm_journal_enospc(journal, after: int = 0) -> None:
+    """Make *journal*'s appends fail with ENOSPC after *after* more
+    successful records — the filling-disk fault class.
+
+    Reaches into the journal's real failure path (like the injectors
+    above reach into simulator state) so the production disable-and-
+    count behaviour is what gets exercised, not a mock of it.
+    """
+    import errno
+
+    orig_append = journal.append
+    budget = [after]
+
+    def chaotic_append(record):
+        if budget[0] <= 0:
+            if not journal.disabled:  # same guard the real append has
+                journal._fail(OSError(errno.ENOSPC,
+                                      "No space left on device (chaos)"))
+            return False
+        budget[0] -= 1
+        return orig_append(record)
+
+    journal.append = chaotic_append

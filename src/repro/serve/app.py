@@ -43,6 +43,14 @@ from repro.serve.http import (
 from repro.serve.spec import SpecError
 
 
+def _swallow_task_outcome(task: "asyncio.Task") -> None:
+    """Done-callback for a submit task whose SSE client vanished:
+    retrieve the exception so asyncio never logs it as unretrieved."""
+    if task.cancelled():
+        return
+    task.exception()
+
+
 def error_payload(exc: BaseException) -> Tuple[int, Dict[str, Any]]:
     """Map a gateway exception to (status, structured JSON body)."""
     if isinstance(exc, SpecError):
@@ -191,13 +199,14 @@ class App:
             return request.keep_alive
 
         stream = SseStream(writer)
-        await stream.start()
-        await stream.send(run_header_record(experiment="serve",
-                                            argv=["serve", "/v1/jobs"],
-                                            seed=None, workers=1, jobs=1),
-                          event="header")
+        pending = first
         try:
-            pending = first
+            await stream.start()
+            await stream.send(run_header_record(experiment="serve",
+                                                argv=["serve", "/v1/jobs"],
+                                                seed=None, workers=1,
+                                                jobs=1),
+                              event="header")
             while True:
                 if pending is None:
                     pending = asyncio.ensure_future(events.get())
@@ -212,14 +221,36 @@ class App:
                     continue
                 # Task finished exceptionally without a sentinel.
                 pending.cancel()
+                pending = None
                 break
             outcome = await task
             await stream.send(outcome, event="result")
         except (SpecError, RateLimited, QueueFull, Draining,
                 JobError) as exc:
             _, body = error_payload(exc)
-            await stream.send(body, event="error")
-        await stream.close()
+            try:
+                await stream.send(body, event="error")
+            except ConnectionError:
+                self.gateway.registry.counter(
+                    "serve.client_disconnects").inc()
+                return False
+        except ConnectionError:
+            # The client dropped mid-stream.  The run itself keeps going
+            # (its result still lands in the cache and its ticket still
+            # resolves for any coalesced waiters) — only this stream dies,
+            # as a counted outcome.
+            self.gateway.registry.counter("serve.client_disconnects").inc()
+            if pending is not None:
+                pending.cancel()
+            task.add_done_callback(_swallow_task_outcome)
+            return False
+        finally:
+            if pending is not None and not pending.done():
+                pending.cancel()
+        try:
+            await stream.close()
+        except ConnectionError:
+            self.gateway.registry.counter("serve.client_disconnects").inc()
         return False  # chunked stream ends the connection
 
     # -- introspection endpoints ---------------------------------------------

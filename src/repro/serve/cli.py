@@ -58,6 +58,11 @@ def build_parser() -> argparse.ArgumentParser:
                              "execution under this root (enables /runs)")
     parser.add_argument("--job-timeout", type=float, default=None,
                         help="per-job wall-clock limit in seconds")
+    parser.add_argument("--journal", default=None, metavar="PATH",
+                        help="service write-ahead journal (repro.durable): "
+                             "accepted jobs are journaled before running, "
+                             "and a restarted gateway replays the file to "
+                             "re-enqueue incomplete ones")
     parser.add_argument("--drain-grace", type=float, default=30.0,
                         help="seconds to wait for in-flight jobs on "
                              "shutdown")
@@ -81,6 +86,7 @@ def options_from_args(args) -> ServeOptions:
         manifest_dir=args.manifest_dir,
         job_timeout=args.job_timeout,
         drain_grace=args.drain_grace,
+        journal_path=args.journal,
     )
 
 
@@ -92,6 +98,13 @@ async def serve(options: ServeOptions, host: str, port: int,
     print(f"repro.serve listening on http://{bound_host}:{bound_port} "
           f"({options.shards} shard(s), queue {options.queue_limit})",
           flush=True)
+    recovery = app.gateway.recovery
+    if options.journal_path and (recovery["recovered"]
+                                 or recovery["orphaned"]):
+        print(f"repro.serve: journal replay recovered "
+              f"{recovery['recovered']} job(s) "
+              f"({recovery['already_cached']} already cached), "
+              f"{recovery['orphaned']} orphaned", flush=True)
     if ready_file:
         with open(ready_file, "w") as fh:
             fh.write(f"{bound_host} {bound_port}\n")

@@ -10,7 +10,14 @@ from __future__ import annotations
 
 import http.client
 import json
+import random
+import time
 from typing import Any, Dict, Optional, Tuple
+
+#: Cap on a single 429 backoff sleep, whatever ``retry_after`` claims.
+MAX_RETRY_WAIT = 5.0
+#: Fallback delay when a 429 body carries no usable ``retry_after``.
+DEFAULT_RETRY_AFTER = 0.25
 
 
 class ServeClient:
@@ -23,6 +30,8 @@ class ServeClient:
         self.port = port
         self.tenant = tenant
         self.timeout = timeout
+        #: 429 responses this client retried (test/telemetry hook).
+        self.rate_limit_retries = 0
         self._conn: Optional[http.client.HTTPConnection] = None
 
     # -- plumbing ------------------------------------------------------------
@@ -75,9 +84,32 @@ class ServeClient:
         return status, json.loads(payload.decode("utf-8"))
 
     # -- endpoints -----------------------------------------------------------
-    def submit(self, spec: Dict[str, Any]) -> Tuple[int, Any]:
-        """POST a job spec; returns (status, outcome-or-error body)."""
-        return self.json("POST", "/v1/jobs", spec)
+    def submit(self, spec: Dict[str, Any],
+               retries: int = 0) -> Tuple[int, Any]:
+        """POST a job spec; returns (status, outcome-or-error body).
+
+        With *retries* > 0, a 429 is retried up to that many times,
+        honoring the ``retry_after`` hint the gateway puts in the body
+        (jittered up to +25% so a herd of limited clients does not
+        reconverge on the same instant, capped at
+        :data:`MAX_RETRY_WAIT`).  Any other status — success or error —
+        returns immediately; the final 429, if the budget runs out, is
+        returned rather than raised.
+        """
+        attempt = 0
+        while True:
+            status, body = self.json("POST", "/v1/jobs", spec)
+            if status != 429 or attempt >= retries:
+                return status, body
+            try:
+                hint = float(body.get("retry_after"))
+            except (AttributeError, TypeError, ValueError):
+                hint = DEFAULT_RETRY_AFTER
+            delay = min(MAX_RETRY_WAIT,
+                        max(hint, 0.0) * (1.0 + random.uniform(0.0, 0.25)))
+            self.rate_limit_retries += 1
+            attempt += 1
+            time.sleep(delay)
 
     def submit_stream(self, spec: Dict[str, Any]) -> Tuple[int, list]:
         """POST with SSE; returns (status, parsed event list).

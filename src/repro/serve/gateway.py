@@ -109,6 +109,11 @@ class ServeOptions:
     manifest_dir: Optional[str] = None  # per-served-run manifests; None off
     job_timeout: Optional[float] = None
     drain_grace: float = 30.0       # seconds to wait for in-flight on drain
+    #: Service write-ahead journal (repro.durable): every accepted job is
+    #: recorded before it runs and marked finished/failed after, so a
+    #: killed gateway replays the journal on boot and re-enqueues the
+    #: jobs it had accepted but not finished.  None disables.
+    journal_path: Optional[str] = None
 
 
 class Ticket:
@@ -155,6 +160,14 @@ def run_id_of(manifest_path: Optional[str]) -> Optional[str]:
     return os.path.basename(os.path.dirname(manifest_path))
 
 
+def _swallow_outcome(future: "asyncio.Future") -> None:
+    """Done-callback for recovered tickets nobody is awaiting: retrieve
+    the exception (if any) so asyncio never logs it as unretrieved."""
+    if future.cancelled():
+        return
+    future.exception()
+
+
 class Gateway:
     """The simulation-as-a-service core (transport-agnostic).
 
@@ -175,6 +188,11 @@ class Gateway:
         self.in_flight: Dict[str, Ticket] = {}
         self.buckets: Dict[str, TokenBucket] = {}
         self.draining = False
+        self.journal = None
+        #: Boot-time journal replay summary (see :meth:`_recover_journal`).
+        self.recovery: Dict[str, Any] = {
+            "recovered": 0, "orphaned": 0, "already_cached": 0,
+            "bad_lines": 0, "truncated": False}
         self.started_at = time.time()
         self.loop: Optional[asyncio.AbstractEventLoop] = None
         self.queue: Optional[asyncio.Queue] = None
@@ -183,7 +201,15 @@ class Gateway:
 
     # -- lifecycle -----------------------------------------------------------
     async def start(self) -> None:
-        """Bind to the running loop and start the worker shards."""
+        """Bind to the running loop and start the worker shards.
+
+        With a journal configured, the previous incarnation's journal is
+        replayed first: jobs it had accepted but never finished are
+        re-enqueued (``serve.recovered``), unrebuildable records are
+        counted as ``serve.orphaned``, and the journal is rewritten fresh
+        seeded with the re-accepted jobs — so a crash during recovery is
+        itself recoverable.
+        """
         self.loop = asyncio.get_running_loop()
         self.queue = asyncio.Queue(maxsize=self.options.queue_limit)
         self._executor = ThreadPoolExecutor(
@@ -192,6 +218,93 @@ class Gateway:
         self._shard_tasks = [
             asyncio.ensure_future(self._shard_loop(shard))
             for shard in range(self.options.shards)]
+        if self.options.journal_path:
+            self._recover_journal()
+
+    # -- durability ----------------------------------------------------------
+    SERVE_KIND = "serve"
+
+    def _journal_record(self, rec: str, **fields) -> None:
+        """Best-effort journal append; failures are counted, never raised
+        (mirrors the engine: the service must outlive its log)."""
+        if self.journal is None:
+            return
+        if not self.journal.record(rec, **fields):
+            self.registry.counter("serve.journal_errors").inc()
+
+    def _recover_journal(self) -> None:
+        """Replay the previous incarnation's journal, then start fresh.
+
+        An accepted-but-unfinished job is *incomplete*: if its result
+        meanwhile sits in the cache (the crash hit between the cache
+        store and the journal mark) it is already served and only
+        counted; otherwise the job is rebuilt from its journaled spec
+        and re-enqueued as a fresh ticket — a later identical request
+        coalesces onto it.  Records that cannot be rebuilt (torn spec,
+        schema drift, queue at capacity) become ``serve.orphaned``: a
+        named, counted outcome instead of silent loss.
+        """
+        from repro.durable.journal import (RunJournal, check_header,
+                                           header_record, read_records)
+
+        path = self.options.journal_path
+        records, bad_lines, truncated = read_records(path)
+        self.recovery["bad_lines"] = bad_lines
+        self.recovery["truncated"] = truncated
+        accepted: Dict[str, Dict[str, Any]] = {}
+        settled = set()
+        if records and check_header(records, self.SERVE_KIND):
+            for record in records[1:]:
+                rec, key = record.get("rec"), record.get("key")
+                if rec == "job_accepted" and key:
+                    accepted[key] = record
+                elif rec in ("job_finished", "job_failed"):
+                    settled.add(key)
+        elif records:
+            # Unreadable or alien header: trust nothing in the file.
+            self.recovery["orphaned"] += len(records)
+
+        # Rewrite the journal fresh ("w"): settled history is dead
+        # weight, and re-accepted jobs are re-journaled below so a crash
+        # during recovery loses nothing.
+        self.journal = RunJournal(path, mode="w")
+        self.journal.append(header_record(
+            self.SERVE_KIND, started=self.started_at, pid=os.getpid()))
+        for key, record in accepted.items():
+            if key in settled:
+                continue
+            try:
+                job = SimJob.from_dict(record["job"])
+            except (KeyError, TypeError, ValueError):
+                self.recovery["orphaned"] += 1
+                continue
+            if self.cache.get(job) is not None:
+                # Finished in fact, just not in the journal: the next
+                # request for it is a plain cache hit.
+                self.recovery["already_cached"] += 1
+                self.recovery["recovered"] += 1
+                continue
+            ticket = Ticket(job, key, self.loop.create_future())
+            ticket.waiters = 0
+            # Nobody awaits a recovered ticket unless a new request
+            # coalesces onto it; consume the future's outcome so an
+            # execution failure never logs "exception never retrieved".
+            ticket.future.add_done_callback(_swallow_outcome)
+            try:
+                self.queue.put_nowait(ticket)
+            except asyncio.QueueFull:
+                self.recovery["orphaned"] += 1
+                continue
+            self.in_flight[key] = ticket
+            self._journal_record("job_accepted", key=key,
+                                 job=record["job"],
+                                 tenant=record.get("tenant"),
+                                 recovered=True)
+            self.recovery["recovered"] += 1
+        self.registry.counter("serve.recovered").inc(
+            self.recovery["recovered"])
+        self.registry.counter("serve.orphaned").inc(
+            self.recovery["orphaned"])
 
     async def drain(self, grace: Optional[float] = None) -> int:
         """Stop admitting, wait for in-flight work, stop the shards.
@@ -219,6 +332,8 @@ class Gateway:
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
+        if self.journal is not None:
+            self.journal.close()
         return abandoned
 
     # -- submission ----------------------------------------------------------
@@ -303,6 +418,10 @@ class Gateway:
                             f"({self.options.queue_limit})")
         self.in_flight[key] = ticket
         self.registry.counter("serve.admitted").inc()
+        # Write-ahead: the job is journaled the moment it is admitted,
+        # before any execution, so a crash from here on re-enqueues it.
+        self._journal_record("job_accepted", key=key, job=job.to_dict(),
+                             tenant=tenant)
         self.registry.histogram("serve.queue_depth").record(
             self.queue.qsize())
         return await asyncio.shield(ticket.future)
@@ -342,6 +461,9 @@ class Gateway:
             timeout=self.options.job_timeout,
             retries=0,
             manifest_dir=self.options.manifest_dir,
+            # The gateway's own journal covers served jobs; a per-request
+            # engine journal would just double the fsync traffic.
+            journal=False,
             run_meta={"experiment": "serve",
                       "argv": ["serve", ticket.job.label],
                       "seed": ticket.job.seed})
@@ -372,6 +494,13 @@ class Gateway:
     def _finish(self, ticket: Ticket, outcome=None,
                 error: Optional[JobError] = None) -> None:
         self.in_flight.pop(ticket.key, None)
+        if error is not None:
+            self._journal_record("job_failed", key=ticket.key,
+                                 error=f"{error.kind}: {error.message}")
+        else:
+            # The engine stored the result in the cache before returning,
+            # so a journaled finish implies the result is durable.
+            self._journal_record("job_finished", key=ticket.key)
         if not ticket.future.done():
             if error is not None:
                 ticket.future.set_exception(error)
@@ -398,4 +527,21 @@ class Gateway:
             "metrics": self.registry.to_dict(),
             "cache": self.cache.describe(),
             "tenants": len(self.buckets),
+            "durability": self.durability(),
+        }
+
+    def durability(self) -> Dict[str, Any]:
+        """Journal + boot-recovery state for ``/stats``."""
+        counters = self.registry.counters()
+        return {
+            "journal": self.options.journal_path,
+            "enabled": self.journal is not None,
+            "degraded": (self.journal.disabled
+                         if self.journal is not None else False),
+            "journal_errors": counters.get("serve.journal_errors", 0),
+            "recovered": self.recovery["recovered"],
+            "orphaned": self.recovery["orphaned"],
+            "already_cached": self.recovery["already_cached"],
+            "journal_bad_lines": self.recovery["bad_lines"],
+            "journal_truncated": self.recovery["truncated"],
         }

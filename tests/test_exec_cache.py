@@ -52,11 +52,13 @@ class TestStore:
         assert store.stats.invalidations == 1
         assert not path.exists()
 
-    def test_corrupt_entry_invalidated(self, store):
+    def test_corrupt_entry_quarantined(self, store):
         path = store.put(job(), {"cycles": 1})
         path.write_text("{not json")
         assert store.get(job()) is None
-        assert store.stats.invalidations == 1
+        assert store.stats.corrupt == 1
+        assert not path.exists()  # moved out of the addressable tree
+        assert store.quarantine_count() == 1
 
     def test_purge_and_counts(self, store):
         store.put(job(), {"cycles": 1})
@@ -125,6 +127,106 @@ class TestUnwritableRoot:
         assert runner.cache.stats.store_failures == 2
         assert runner.stats.finished == 2
         assert runner.cache.stats.as_dict()["store_failures"] == 2
+
+
+class TestIntegrity:
+    """Content checksums: bit rot is caught on read, quarantined, and
+    repairable from the CLI — never a traceback, never a wrong result."""
+
+    def test_entries_carry_crc(self, store):
+        from repro.exec.cache import blob_crc
+
+        path = store.put(job(), {"cycles": 7})
+        blob = json.loads(path.read_text())
+        assert blob["crc"] == blob_crc(blob)
+
+    def test_bit_flip_detected_and_quarantined(self, store):
+        from repro.sanitize.chaos import flip_byte
+
+        path = store.put(job(), {"cycles": 7})
+        # Flip a byte inside the result payload, not the framing.
+        offset = path.read_text().index("7")
+        flip_byte(str(path), offset=offset)
+        assert store.get(job()) is None  # no wrong answer served
+        assert store.stats.corrupt == 1
+        assert store.stats.hits == 0
+        quarantined = list((store.root / "quarantine").iterdir())
+        assert len(quarantined) == 1
+
+    def test_pre_checksum_blob_is_stale_not_corrupt(self, store):
+        path = store.put(job(), {"cycles": 1})
+        blob = json.loads(path.read_text())
+        del blob["crc"]  # entry written before checksums existed
+        path.write_text(json.dumps(blob))
+        assert store.get(job()) is None
+        assert store.stats.invalidations == 1
+        assert store.stats.corrupt == 0
+
+    def test_read_error_counted_file_left_alone(self, store, monkeypatch):
+        path = store.put(job(), {"cycles": 1})
+
+        def broken_read_bytes(self, *a, **kw):
+            raise OSError(5, "Input/output error")
+
+        monkeypatch.setattr(type(path), "read_bytes", broken_read_bytes)
+        assert store.get(job()) is None
+        assert store.stats.read_errors == 1
+        monkeypatch.undo()
+        assert path.exists()  # transient I/O error: entry not destroyed
+
+    def test_verify_reports_and_repair_quarantines(self, store):
+        from repro.sanitize.chaos import flip_byte
+
+        good = store.put(job(seed=1), {"cycles": 1})
+        bad = store.put(job(seed=2), {"cycles": 2})
+        flip_byte(str(bad))
+        summary = store.verify()
+        assert summary["checked"] == 2
+        assert summary["ok"] == 1
+        assert summary["corrupt"] == 1
+        assert not summary["repair"]
+        assert bad.exists()  # verify alone is read-only
+
+        summary = store.verify(repair=True)
+        assert summary["corrupt"] == 1 and summary["quarantined"] == 1
+        assert not bad.exists() and good.exists()
+        # A second pass is clean.
+        assert store.verify()["corrupt"] == 0
+
+    def test_verify_cli_exit_codes(self, store, capsys):
+        from repro.exec.cli import main as cache_cli
+        from repro.sanitize.chaos import flip_byte
+
+        path = store.put(job(), {"cycles": 1})
+        argv = ["cache", "verify", "--dir", str(store.root)]
+        assert cache_cli(argv) == 0
+        flip_byte(str(path))
+        assert cache_cli(argv) == 1  # unrepaired corruption
+        argv[1] = "repair"
+        assert cache_cli(argv) == 0  # repaired: quarantined, exit clean
+        capsys.readouterr()
+
+    def test_sweep_tmp_age_guard(self, store):
+        path = store.put(job(), {"cycles": 1})
+        fresh = path.parent / "deadbeef.tmp.123"
+        stale = path.parent / "cafebabe.tmp.456"
+        fresh.write_text("half-written")
+        stale.write_text("half-written")
+        old = stale.stat().st_mtime - 7200
+        os.utime(stale, (old, old))
+        assert store.sweep_tmp() == 1
+        assert fresh.exists() and not stale.exists()
+        assert path.exists()
+
+    def test_prune_sweeps_stale_tmp(self, store):
+        path = store.put(job(), {"cycles": 1})
+        leftover = path.parent / "0badf00d.tmp.789"
+        leftover.write_text("half-written")
+        old = leftover.stat().st_mtime - 7200
+        os.utime(leftover, (old, old))
+        summary = store.prune(max_bytes=10 ** 9)
+        assert summary["tmp_swept"] == 1
+        assert not leftover.exists()
 
 
 class TestParseSize:

@@ -184,6 +184,41 @@ class TestAdmission:
                 status, _ = client.submit(tiny_spec(seed=2))
             assert status == 200
 
+    def test_client_retries_429_to_success(self, tmp_path):
+        """The client-side backoff loop: a rate-limited submit sleeps out
+        the ``retry_after`` hint and lands on its feet."""
+        options = ServeOptions(shards=1, rate=5.0, burst=1,
+                               cache_dir=str(tmp_path / "cache"))
+        with LiveServer(options, execute=echo_execute) as server:
+            with server.client(tenant="carol") as client:
+                status, _ = client.submit(tiny_spec())  # drains the bucket
+                assert status == 200
+                status, outcome = client.submit(tiny_spec(seed=1),
+                                                retries=5)
+            assert status == 200
+            assert outcome["result"]["seed"] == 1
+            assert client.rate_limit_retries >= 1
+
+    def test_client_retry_budget_returns_final_429(self, tmp_path,
+                                                   monkeypatch):
+        from repro.serve import client as client_module
+
+        sleeps = []
+        monkeypatch.setattr(client_module.time, "sleep", sleeps.append)
+        options = ServeOptions(shards=1, rate=0.001, burst=1,
+                               cache_dir=str(tmp_path / "cache"))
+        with LiveServer(options, execute=echo_execute) as server:
+            with server.client(tenant="dave") as client:
+                assert client.submit(tiny_spec())[0] == 200
+                status, body = client.submit(tiny_spec(seed=1), retries=2)
+            assert status == 429  # budget spent: returned, not raised
+            assert body["error"] == "rate_limited"
+            assert client.rate_limit_retries == 2
+            assert len(sleeps) == 2
+            # Each sleep honors the hint, jittered, capped at the max.
+            assert all(0 < delay <= client_module.MAX_RETRY_WAIT
+                       for delay in sleeps)
+
     def test_full_queue_gives_queue_full(self, tmp_path):
         def slow_execute(job):
             time.sleep(0.4)
