@@ -15,6 +15,10 @@
   informing feedback selects between plain and prefetching loop versions.
 * :mod:`repro.apps.page_remap` — conflict-driven page recoloring, the
   operating-system client from the paper's introduction.
+* :mod:`repro.apps.bypass` — adaptive cache bypass: the miss handler
+  classifies streaming references and routes their fills around the L1.
+* :mod:`repro.apps.experiments` — the application lab: the registry of
+  named, cacheable experiments behind ``python -m repro.harness apps``.
 """
 
 from repro.apps.monitoring import MissCounter, MissProfile, MissProfiler
@@ -29,8 +33,13 @@ from repro.apps.multithreading import (
 from repro.apps.sampling import SamplingController, SamplingProfiler
 from repro.apps.multiversion import AdaptiveVersionSelector
 from repro.apps.page_remap import PageConflictAnalyzer, remap_stream
+from repro.apps.bypass import AdaptiveBypassController
+from repro.apps.experiments import APP_EXPERIMENTS, run_app_experiment
 
 __all__ = [
+    "APP_EXPERIMENTS",
+    "AdaptiveBypassController",
+    "run_app_experiment",
     "MissCounter",
     "MissProfiler",
     "MissProfile",

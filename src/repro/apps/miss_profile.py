@@ -1,0 +1,67 @@
+"""The miss-profiling experiment: [HMMS95] per-reference miss rates.
+
+Wraps :class:`repro.apps.monitoring.MissProfiler` — the paper's §4.1.1
+profiling tool — into a self-contained experiment: run the benchmark
+once bare for a cycle baseline, once with the ~10-instruction hash-table
+handler attached (plus the instrumentation-free reference-counting
+stream pass), and report the per-static-reference profile next to what
+gathering it cost.  The handler hashes the MHRR return address into a
+power-of-two table; collisions chain and cost a few extra instructions,
+and the collision count is part of the result — it is the profiler's own
+accuracy/overhead dial.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.apps.monitoring import MissProfiler
+
+
+def run_miss_profile(
+    benchmark: str,
+    machine: str,
+    instructions: int,
+    warmup: int,
+    seed: int = 0,
+    policy: str = "lru",
+    table_size: int = 1024,
+    top: int = 8,
+) -> Dict[str, Any]:
+    """Profile per-static-reference miss rates for one benchmark.
+
+    Returns a JSON-able dict: baseline vs instrumented cycles, the
+    profiler's table accounting, and the *top* hottest static references
+    as ``{"pc", "misses", "miss_rate"}`` rows (pc rendered in hex).
+    """
+    from repro.apps.experiments import run_cell
+
+    _, base = run_cell(benchmark, machine, None, instructions, warmup,
+                       seed=seed, policy=policy)
+    profiler = MissProfiler(table_size=table_size)
+    core, stats = run_cell(benchmark, machine,
+                           profiler.informing_config(), instructions,
+                           warmup, seed=seed, policy=policy,
+                           stream_wrap=profiler.counting_stream)
+    profile = profiler.profile
+    hottest = [{"pc": f"0x{pc:x}", "misses": misses,
+                "miss_rate": round(rate, 4)}
+               for pc, misses, rate in profile.hottest(top)]
+    return {
+        "experiment": "miss_profile",
+        "benchmark": benchmark,
+        "machine": machine,
+        "policy": policy,
+        "baseline_cycles": base.cycles,
+        "cycles": stats.cycles,
+        "overhead": round(stats.cycles / base.cycles, 4) if base.cycles
+        else 0.0,
+        "handler_invocations": stats.handler_invocations,
+        "handler_instructions": stats.handler_instructions,
+        "l1_miss_rate": core.hierarchy.stats.l1_miss_rate,
+        "total_misses": profile.total_misses,
+        "static_references": len(profile.references),
+        "table_size": profile.table_size,
+        "hash_collisions": profile.hash_collisions,
+        "hottest": hottest,
+    }

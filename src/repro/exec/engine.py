@@ -277,13 +277,53 @@ class JobRunner:
     @staticmethod
     def _trace_extra(job: SimJob) -> Dict[str, str]:
         """FINISHED-event extras for executed jobs: the per-job repro.obs
-        trace path, when a trace directory is configured."""
+        trace path (when a trace directory is configured) and the
+        effective simulation backend."""
         from repro.obs import job_trace_path, obs_trace_dir
 
+        extra: Dict[str, str] = {}
         directory = obs_trace_dir()
-        if not directory:
-            return {}
-        return {"trace": job_trace_path(directory, job.label)}
+        if directory:
+            extra["trace"] = job_trace_path(directory, job.label)
+        backend = JobRunner._effective_backend(job)
+        if backend is not None:
+            extra["backend"] = backend
+        return extra
+
+    @staticmethod
+    def _effective_backend(job: SimJob) -> Optional[str]:
+        """The backend a just-executed bar job actually ran on.
+
+        Mirrors the dispatch in :func:`repro.harness.runner.run_bar`: a
+        "vec" request downgrades to "interp" when the bar or replacement
+        policy is outside the flat kernels, or a sanitizer/observer is
+        attached — making vec fallbacks visible in telemetry rather than
+        silent.  None for non-bar jobs (they have no backend choice).
+        """
+        from repro.exec.job import KIND_BAR
+
+        if job.kind != KIND_BAR:
+            return None
+        from repro.harness.runner import bar_config
+        from repro.obs import obs_enabled
+        from repro.sanitize import sanitize_enabled
+        from repro.vec import BackendError, resolve_backend, vec_supports
+
+        try:
+            backend = resolve_backend(None)
+        except BackendError:  # unknown REPRO_BACKEND fails in run_bar too
+            return None
+        if backend != "vec":
+            return "interp"
+        cfg = job.config_dict()
+        try:
+            bar = bar_config(cfg.get("label", "N"))
+        except ValueError:
+            return None
+        if (sanitize_enabled() or obs_enabled()
+                or not vec_supports(bar, cfg.get("policy", "lru"))):
+            return "interp"
+        return "vec"
 
     def _header(self, total: int) -> Dict[str, Any]:
         """The run-header record for this invocation's telemetry stream."""

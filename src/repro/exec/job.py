@@ -27,6 +27,7 @@ SCHEMA_VERSION = 1
 #: Job kinds understood by :func:`execute_job`.
 KIND_BAR = "bar"
 KIND_ACCESS_CONTROL = "access_control"
+KIND_APP = "app"
 
 
 def _canonical(obj: Any) -> str:
@@ -72,11 +73,37 @@ class SimJob:
     # -- constructors --------------------------------------------------------
     @classmethod
     def bar(cls, benchmark: str, machine: str, label: str,
-            instructions: int, warmup: int, seed: int = 0) -> "SimJob":
-        """A figure bar: one (benchmark, machine, informing-config) run."""
+            instructions: int, warmup: int, seed: int = 0,
+            policy: str = "lru") -> "SimJob":
+        """A figure bar: one (benchmark, machine, informing-config) run.
+
+        *policy* names a replacement-registry entry; the default ``"lru"``
+        is deliberately omitted from the config so every pre-registry
+        cache key (and golden capture) remains reachable unchanged.
+        """
+        config: Dict[str, Any] = {"label": label}
+        if policy != "lru":
+            config["policy"] = policy
         return cls(kind=KIND_BAR, machine=machine, benchmark=benchmark,
                    instructions=instructions, warmup=warmup, seed=seed,
-                   config=_freeze({"label": label}))
+                   config=_freeze(config))
+
+    @classmethod
+    def app(cls, experiment: str, benchmark: str, machine: str,
+            instructions: int, warmup: int, seed: int = 0,
+            policy: str = "lru") -> "SimJob":
+        """A §4.1 application-lab run (repro.apps.experiments).
+
+        Same ``policy`` normalization as :meth:`bar`: the default
+        ``"lru"`` stays out of the config so a policy sweep and the
+        default run key differently only when results can differ.
+        """
+        config: Dict[str, Any] = {"experiment": experiment}
+        if policy != "lru":
+            config["policy"] = policy
+        return cls(kind=KIND_APP, machine=machine, benchmark=benchmark,
+                   instructions=instructions, warmup=warmup, seed=seed,
+                   config=_freeze(config))
 
     @classmethod
     def access_control(cls, workload: str, method: str,
@@ -92,7 +119,8 @@ class SimJob:
     def label(self) -> str:
         """Human-readable identity used in telemetry and progress lines."""
         cfg = self.config_dict()
-        tag = cfg.get("label") or cfg.get("method") or self.kind
+        tag = (cfg.get("label") or cfg.get("method")
+               or cfg.get("experiment") or self.kind)
         return f"{self.benchmark}/{self.machine}/{tag}"
 
     def config_dict(self) -> Dict[str, Any]:
@@ -143,7 +171,8 @@ def _execute_bar(job: SimJob) -> Dict[str, Any]:
 
     cfg = job.config_dict()
     result = run_bar(job.benchmark, job.machine, bar_config(cfg["label"]),
-                     job.instructions, job.warmup, seed=job.seed)
+                     job.instructions, job.warmup, seed=job.seed,
+                     policy=cfg.get("policy", "lru"))
     return asdict(result)
 
 
@@ -169,9 +198,21 @@ def _execute_access_control(job: SimJob) -> Dict[str, Any]:
     }
 
 
+def _execute_app(job: SimJob) -> Dict[str, Any]:
+    from repro.apps.experiments import run_app_experiment
+
+    cfg = job.config_dict()
+    return run_app_experiment(cfg["experiment"], job.benchmark,
+                              machine=job.machine,
+                              instructions=job.instructions,
+                              warmup=job.warmup, seed=job.seed,
+                              policy=cfg.get("policy", "lru"))
+
+
 _EXECUTORS = {
     KIND_BAR: _execute_bar,
     KIND_ACCESS_CONTROL: _execute_access_control,
+    KIND_APP: _execute_app,
 }
 
 

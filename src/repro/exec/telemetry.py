@@ -102,6 +102,12 @@ class JobEvent:
     #: Path of the repro.obs event trace this job wrote (finished jobs
     #: executed under REPRO_OBS_DIR / --trace-events only).
     trace: Optional[str] = None
+    #: Effective simulation backend of an executed job ("interp" | "vec").
+    #: Reports what actually ran — a vec request that fell back to interp
+    #: (unsupported bar, stateful replacement policy, sanitizer/observer
+    #: attached) records "interp", which is how vec-fallback visibility is
+    #: tested.  None on cache hits and non-bar jobs.
+    backend: Optional[str] = None
 
     def to_json(self) -> str:
         data = {k: v for k, v in asdict(self).items() if v is not None}

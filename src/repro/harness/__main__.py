@@ -19,6 +19,9 @@ Usage::
     python -m repro.harness watch TELEMETRY_JSONL [--follow]
     python -m repro.harness serve [--port P] [--shards N] ...
     python -m repro.harness resume RUN_ID [--jobs N] [--backend B]
+    python -m repro.harness apps {miss_profile,prefetch_schedule,bypass,all}
+    python -m repro.harness explain (TRACE.events.jsonl | RUN_ID) [--json]
+    python -m repro.harness bench replacement [--explain DIR]
 
 ``profile`` wraps any other invocation in cProfile and prints the top-N
 hot functions afterwards, e.g.::
@@ -180,7 +183,8 @@ def _build_engine(args, argv=None):
         manifest_dir=manifest_dir,
         run_meta={"experiment": args.experiment,
                   "argv": list(argv) if argv is not None else None,
-                  "seed": args.seed},
+                  "seed": args.seed,
+                  "policy": getattr(args, "policy", "lru")},
     )
     return JobRunner(options)
 
@@ -203,6 +207,15 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=0,
                         help="workload seed offset (0 = the default "
                              "seed path, unchanged)")
+    from repro.memory import available_policies
+    parser.add_argument("--policy", choices=available_policies(),
+                        default="lru",
+                        help="L1/L2 replacement policy for every cell "
+                             "(repro.memory.replacement registry; "
+                             "default lru, the paper's machines). "
+                             "Non-lru policies get their own cache "
+                             "keys; stateful ones (plru/rrip/brrip) "
+                             "fall back from the vec backend to interp")
     engine_group = parser.add_argument_group("execution engine")
     engine_group.add_argument("--jobs", type=int, default=1, metavar="N",
                               help="worker processes for the simulation "
@@ -267,6 +280,10 @@ def main(argv=None) -> int:
     if args.seed and args.experiment in ("table1", "table2", "figure4",
                                          "sensitivity"):
         parser.error(f"--seed does not apply to {args.experiment}")
+    # Policy only affects the bar-grid experiments' cache hierarchies.
+    if args.policy != "lru" and args.experiment in (
+            "table1", "table2", "figure4", "sensitivity", "characterize"):
+        parser.error(f"--policy does not apply to {args.experiment}")
     engine = (_build_engine(args, argv=argv)
               if args.experiment in _ENGINE_EXPERIMENTS else None)
 
@@ -288,19 +305,21 @@ def main(argv=None) -> int:
         from repro.harness import export
         benchmarks = args.benchmarks.split(",") if args.benchmarks else None
         result = runner.figure2(benchmarks=benchmarks, seed=args.seed,
-                                engine=engine, **sizes)
+                                engine=engine, policy=args.policy, **sizes)
         print(report.render_figure(result, "Figure 2 — generic miss handlers"))
         for note in report.summarize_claims(result):
             print(note)
         maybe_export(export.figure_to_json(result))
     elif args.experiment == "figure3":
         from repro.harness import export
-        result = runner.figure3(seed=args.seed, engine=engine, **sizes)
+        result = runner.figure3(seed=args.seed, engine=engine,
+                                policy=args.policy, **sizes)
         print(report.render_figure(result, "Figure 3 — su2cor"))
         maybe_export(export.figure_to_json(result))
     elif args.experiment == "handler100":
         from repro.harness import export
-        result = runner.handler100(seed=args.seed, engine=engine, **sizes)
+        result = runner.handler100(seed=args.seed, engine=engine,
+                                   policy=args.policy, **sizes)
         print(report.render_figure(
             result, "100-instruction handlers (paper: compress ~6x, "
                     "su2cor ~7x, ora ~2%)"))
@@ -308,14 +327,15 @@ def main(argv=None) -> int:
     elif args.experiment == "branch-vs-exception":
         from repro.harness import export
         result = runner.branch_vs_exception(seed=args.seed, engine=engine,
-                                            **sizes)
+                                            policy=args.policy, **sizes)
         print(report.render_figure(
             result, "Branch-like vs exception-like traps "
                     "(paper: +9%/+7% on compress)"))
         maybe_export(export.figure_to_json(result))
     elif args.experiment == "cc-vs-trap":
         from repro.harness import export
-        result = runner.cc_vs_trap(seed=args.seed, engine=engine, **sizes)
+        result = runner.cc_vs_trap(seed=args.seed, engine=engine,
+                                   policy=args.policy, **sizes)
         print(report.render_figure(
             result, "Condition-code check vs per-reference MHAR set"))
         maybe_export(export.figure_to_json(result))
@@ -419,8 +439,8 @@ def profile_main(argv) -> int:
 
 
 def dispatch(argv=None) -> int:
-    """Route ``profile``/``report``/``compare``/``watch`` to their
-    wrappers, the rest to :func:`main`."""
+    """Route ``profile``/``report``/``compare``/``watch``/``apps``/
+    ``explain``/``bench`` to their wrappers, the rest to :func:`main`."""
     argv = sys.argv[1:] if argv is None else list(argv)
     if argv and argv[0] == "profile":
         return profile_main(argv[1:])
@@ -433,6 +453,15 @@ def dispatch(argv=None) -> int:
     if argv and argv[0] == "watch":
         from repro.perf.watch import watch_main
         return watch_main(argv[1:])
+    if argv and argv[0] == "apps":
+        from repro.harness.apps_cli import apps_main
+        return apps_main(argv[1:])
+    if argv and argv[0] == "explain":
+        from repro.harness.explain import explain_main
+        return explain_main(argv[1:])
+    if argv and argv[0] == "bench":
+        from repro.harness.replacement import bench_main
+        return bench_main(argv[1:])
     if argv and argv[0] == "serve":
         from repro.serve.cli import main as serve_main
         return serve_main(argv[1:])

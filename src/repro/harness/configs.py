@@ -95,9 +95,29 @@ ALPHA21164_SPEC = MachineSpec(
     out_of_order=False,
 )
 
+LAB_SPEC = MachineSpec(
+    name="in-order replacement lab (4-way 8KB L1)",
+    core=ALPHA21164_SPEC.core,
+    hierarchy=replace(
+        ALPHA21164_SPEC.hierarchy,
+        l1=CacheConfig(size=8 * 1024, assoc=4, line_size=32),
+    ),
+    icache=ALPHA21164_SPEC.icache,
+    out_of_order=False,
+)
+"""The replacement-ablation machine: the 21164-like core with a 4-way L1.
+
+Neither Table 1 machine can show replacement effects in the primary cache —
+the 21164's L1 is direct mapped (no choice to make) and the R10000's is
+2-way (tree-PLRU degenerates to true LRU at two ways).  The lab machine
+keeps the in-order core and L1 capacity but raises the associativity to 4,
+where lru/plru/rrip genuinely diverge.
+"""
+
 MACHINES: Dict[str, MachineSpec] = {
     "ooo": R10000_SPEC,
     "inorder": ALPHA21164_SPEC,
+    "lab": LAB_SPEC,
 }
 
 #: Shadow slots used when branch-like informing traps are active: the paper
@@ -107,12 +127,25 @@ INFORMING_SHADOW_SLOTS = 12
 
 
 def build_hierarchy(spec: MachineSpec, extended_mshr: bool = False,
-                    model_icache: bool = True) -> MemoryHierarchy:
-    """Construct a fresh memory hierarchy for one run."""
+                    model_icache: bool = True,
+                    replacement_policy: Optional[str] = None,
+                    replacement_seed: Optional[int] = None) -> MemoryHierarchy:
+    """Construct a fresh memory hierarchy for one run.
+
+    *replacement_policy* picks a registry entry
+    (:mod:`repro.memory.replacement`); None keeps the spec's default
+    (true LRU, the paper's machines).  *replacement_seed* defaults to the
+    historical constant so unseeded runs stay digit-exact.
+    """
+    from repro.memory import DEFAULT_REPLACEMENT_SEED
+
     return MemoryHierarchy(
         spec.hierarchy,
         icache=spec.icache if model_icache else None,
         extended_mshr_lifetime=extended_mshr,
+        replacement_policy=replacement_policy,
+        replacement_seed=(DEFAULT_REPLACEMENT_SEED if replacement_seed is None
+                          else replacement_seed),
     )
 
 
@@ -124,6 +157,8 @@ def build_core(
     wrong_path_factory=None,
     shadow_override: Optional[int] = None,
     model_icache: bool = True,
+    replacement_policy: Optional[str] = None,
+    replacement_seed: Optional[int] = None,
 ):
     """Construct a fresh core+hierarchy pair for one run.
 
@@ -135,7 +170,9 @@ def build_core(
     from repro.inorder import InOrderCore
     from repro.ooo import OutOfOrderCore
 
-    hierarchy = build_hierarchy(spec, extended_mshr, model_icache)
+    hierarchy = build_hierarchy(spec, extended_mshr, model_icache,
+                                replacement_policy=replacement_policy,
+                                replacement_seed=replacement_seed)
     core_config = spec.core
     if spec.out_of_order:
         needs_shadow = (

@@ -1,0 +1,327 @@
+"""``harness explain``: why did this run behave the way it did?
+
+Post-mortem analysis of one cell's :mod:`repro.obs` event trace
+(``*.events.jsonl``), answering the questions the aggregate counters
+cannot: *how re-usable* was the access stream (reuse-distance
+histogram), *how much of the cache was wasted* (dead-block rate — lines
+filled and evicted without a single hit), *where the conflicts landed*
+(set-pressure top-K) and *what the informing handlers cost* (trap
+accounting).  A closing diagnosis names the replacement mechanism the
+numbers implicate, which is how the ``bench replacement`` ablation's
+winners are explained rather than just tabulated.
+
+Two input forms::
+
+    python -m repro.harness explain traces/compress_lab_N.events.jsonl
+    python -m repro.harness explain <run_id> [--cell SUBSTR]
+
+The run-id form resolves a :mod:`repro.perf` manifest and analyzes every
+cell that recorded a trace path (runs made with ``--trace-events DIR``).
+``--json`` emits the analysis dict instead of text.  Corrupt, empty or
+trace-less inputs exit 2 with a message on stderr — an explain that has
+nothing to explain must say so loudly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: Reuse-distance histogram bucket labels, in reporting order.
+REUSE_BUCKETS = ("0", "1", "2-3", "4-7", "8-15", "16-31", "32+", "cold")
+
+#: Event kinds that constitute the demand-access sequence.
+_ACCESS_KINDS = ("l1.hit", "l1.miss", "l1.merge")
+
+
+def _bucket(distance: Optional[int]) -> str:
+    if distance is None:
+        return "cold"
+    for hi, label in ((0, "0"), (1, "1"), (3, "2-3"), (7, "4-7"),
+                      (15, "8-15"), (31, "16-31")):
+        if distance <= hi:
+            return label
+    return "32+"
+
+
+def reuse_distance_histogram(events: Iterable[Dict[str, Any]]
+                             ) -> Dict[str, int]:
+    """LRU stack-distance histogram of the demand line-address stream.
+
+    Distance = number of *distinct* lines touched since the last access
+    to this line (0 = immediate re-reference); first touches count as
+    ``cold``.  Computed over hits, misses and merges alike — it is a
+    property of the access stream, not of any particular cache.
+    """
+    histogram = {label: 0 for label in REUSE_BUCKETS}
+    stack: List[int] = []  # front = most recently used
+    for event in events:
+        if event.get("kind") not in _ACCESS_KINDS:
+            continue
+        line = event.get("line")
+        if line is None:
+            continue
+        try:
+            distance: Optional[int] = stack.index(line)
+        except ValueError:
+            distance = None
+        else:
+            del stack[distance]
+        stack.insert(0, line)
+        histogram[_bucket(distance)] += 1
+    return histogram
+
+
+def dead_block_stats(events: Iterable[Dict[str, Any]],
+                     cache: str = "L1D") -> Dict[str, Any]:
+    """Dead-block accounting for one tag store.
+
+    A block is *dead* when it is filled and then evicted without a
+    single demand hit in between — pure pollution.  Returns eviction
+    and dead counts, the dead rate, and how many filled lines were
+    still live (un-evicted) when the trace ended.
+    """
+    live: Dict[int, bool] = {}  # line -> saw a hit since its fill
+    evictions = 0
+    dead = 0
+    for event in events:
+        kind = event.get("kind")
+        if kind == "cache.fill" and event.get("cache") == cache:
+            live[event["line"]] = False
+        elif kind in ("l1.hit", "l1.merge"):
+            line = event.get("line")
+            if line in live:
+                live[line] = True
+        elif kind == "cache.evict" and event.get("cache") == cache:
+            line = event["line"]
+            evictions += 1
+            if not live.pop(line, True):
+                dead += 1
+    return {
+        "evictions": evictions,
+        "dead": dead,
+        "dead_rate": round(dead / evictions, 4) if evictions else 0.0,
+        "live_at_end": len(live),
+    }
+
+
+def set_pressure(events: Iterable[Dict[str, Any]], cache: str = "L1D",
+                 top: int = 8) -> List[Dict[str, Any]]:
+    """Top-K sets by eviction count for one tag store."""
+    heat: Dict[int, int] = {}
+    total = 0
+    for event in events:
+        if (event.get("kind") == "cache.evict"
+                and event.get("cache") == cache):
+            heat[event["set"]] = heat.get(event["set"], 0) + 1
+            total += 1
+    ranked = sorted(heat.items(), key=lambda kv: (-kv[1], kv[0]))[:top]
+    return [{"set": index, "evictions": count,
+             "share": round(count / total, 4) if total else 0.0}
+            for index, count in ranked]
+
+
+def trap_accounting(events: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
+    """Informing-trap totals: fires, returns, handler instructions."""
+    fires = 0
+    injected = 0
+    returns = 0
+    committed = 0
+    for event in events:
+        kind = event.get("kind")
+        if kind == "trap.fire":
+            fires += 1
+            injected += event.get("handler_len", 0)
+        elif kind == "trap.return":
+            returns += 1
+            committed += event.get("committed", 0)
+    return {
+        "fires": fires,
+        "returns": returns,
+        "handler_instructions_injected": injected,
+        "handler_instructions_committed": committed,
+        "mean_handler_len": round(injected / fires, 2) if fires else 0.0,
+    }
+
+
+def diagnose(analysis: Dict[str, Any]) -> str:
+    """Name the replacement mechanism the trace implicates.
+
+    Heuristic, deliberately plain-spoken: it reads the reuse-distance
+    mass and the dead-block rate and says which policy family the
+    stream rewards — the sentence ``bench replacement`` cites when its
+    ablation cells differ.
+    """
+    histogram = analysis["reuse_distance"]
+    total = sum(histogram.values()) or 1
+    near = sum(histogram[b] for b in ("0", "1", "2-3", "4-7")) / total
+    far = (histogram["32+"] + histogram["cold"]) / total
+    blocks = analysis["dead_blocks"]
+    dead = blocks["dead_rate"]
+    if dead >= 0.15 and blocks["evictions"] >= 32:
+        return (f"polluting fills: {100 * dead:.0f}% of evicted L1 lines "
+                "died without a single hit — scan-resistant insertion "
+                "(rrip/brrip) or fill bypass ages these dead-on-arrival "
+                "lines out first, where strict recency (lru/plru) makes "
+                "room for them by evicting live lines")
+    if far >= 0.5:
+        return (f"capacity-bound reuse: {100 * far:.0f}% of accesses "
+                "re-reference beyond stack distance 31 yet fills do get "
+                f"used ({100 * dead:.0f}% dead) — full recency order "
+                "(lru) protects the oldest still-live lines; distant "
+                "insertion (rrip/brrip) risks evicting a line before its "
+                "first reuse")
+    if near >= 0.6:
+        return (f"recency-friendly: {100 * near:.0f}% of accesses "
+                "re-reference within stack distance 7 — any "
+                "recency-respecting policy (lru, tree-plru) keeps them; "
+                "expect small deltas from the rest of the registry")
+    return ("mixed reuse: no single mechanism dominates — expect small "
+            "deltas between replacement policies on this stream")
+
+
+def analyze_trace(events: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
+    """Full explain analysis of one event list (see module docstring)."""
+    accesses = {kind: 0 for kind in _ACCESS_KINDS}
+    for event in events:
+        kind = event.get("kind")
+        if kind in accesses:
+            accesses[kind] += 1
+    analysis: Dict[str, Any] = {
+        "events": len(events),
+        "accesses": accesses,
+        "reuse_distance": reuse_distance_histogram(events),
+        "dead_blocks": dead_block_stats(events),
+        "set_pressure": set_pressure(events),
+        "traps": trap_accounting(events),
+    }
+    analysis["diagnosis"] = diagnose(analysis)
+    return analysis
+
+
+def render_analysis(source: str, analysis: Dict[str, Any]) -> str:
+    """ASCII report for one analyzed trace."""
+    accesses = analysis["accesses"]
+    histogram = analysis["reuse_distance"]
+    dead = analysis["dead_blocks"]
+    traps = analysis["traps"]
+    lines = [
+        f"explain — {source}",
+        f"  events          {analysis['events']}",
+        f"  accesses        {sum(accesses.values())} "
+        f"({accesses['l1.hit']} hits, {accesses['l1.miss']} misses, "
+        f"{accesses['l1.merge']} merges)",
+        "  reuse distance  " + "  ".join(
+            f"{label}:{histogram[label]}" for label in REUSE_BUCKETS),
+        f"  dead blocks     {dead['dead']}/{dead['evictions']} evictions "
+        f"dead ({100 * dead['dead_rate']:.1f}%), "
+        f"{dead['live_at_end']} live at end",
+    ]
+    if analysis["set_pressure"]:
+        pressure = ", ".join(
+            f"{row['set']} ({100 * row['share']:.0f}%)"
+            for row in analysis["set_pressure"][:5])
+        lines.append(f"  set pressure    hottest L1 sets: {pressure}")
+    else:
+        lines.append("  set pressure    no L1 evictions in trace")
+    lines.append(
+        f"  traps           {traps['fires']} fires, mean handler "
+        f"{traps['mean_handler_len']}, "
+        f"{traps['handler_instructions_committed']} handler insts "
+        "committed")
+    lines.append(f"  diagnosis       {analysis['diagnosis']}")
+    return "\n".join(lines)
+
+
+def _load_trace(path: str) -> Tuple[Optional[List[Dict[str, Any]]],
+                                    Optional[str]]:
+    """Load one events.jsonl strictly; return (events, error)."""
+    from repro.obs.export import read_jsonl
+
+    try:
+        events = read_jsonl(path, strict=True)
+    except OSError as exc:
+        return None, f"cannot read trace {path}: {exc}"
+    except ValueError as exc:
+        return None, f"corrupt trace: {exc}"
+    if not events:
+        return None, f"empty trace: {path} contains no events"
+    return events, None
+
+
+def _resolve_traces(ref: str, manifest_root: Optional[str],
+                    cell_filter: Optional[str]
+                    ) -> Tuple[List[Tuple[str, str]], Optional[str]]:
+    """Resolve *ref* to [(source_label, trace_path)]; or an error."""
+    from repro.perf.manifest import ManifestError, load_manifest
+
+    if os.path.isfile(ref) and not ref.endswith("manifest.json"):
+        return [(ref, ref)], None
+    try:
+        manifest = load_manifest(ref, root=manifest_root)
+    except ManifestError as exc:
+        if os.path.exists(ref):
+            return [], str(exc)
+        return [], (f"{ref!r} is neither an events.jsonl file nor a "
+                    f"resolvable run id ({exc})")
+    except ValueError as exc:
+        return [], f"cannot parse {ref!r}: {exc}"
+    pairs = []
+    for cell in manifest.get("cells", []):
+        trace = cell.get("trace")
+        label = cell.get("label", "?")
+        if not trace:
+            continue
+        if cell_filter and cell_filter not in label:
+            continue
+        pairs.append((f"{manifest['run_id']} cell {label}", trace))
+    if not pairs:
+        hint = (f" matching --cell {cell_filter!r}" if cell_filter else
+                " (was the run made with --trace-events DIR?)")
+        return [], (f"run {manifest['run_id']} has no cells with "
+                    f"recorded traces{hint}")
+    return pairs, None
+
+
+def explain_main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness explain",
+        description="Explain one run cell from its repro.obs event "
+                    "trace: reuse distances, dead blocks, set pressure, "
+                    "trap accounting and a mechanism diagnosis.")
+    parser.add_argument("ref",
+                        help="an *.events.jsonl trace file, or a run id "
+                             "/ manifest path from a --trace-events run")
+    parser.add_argument("--cell", default=None, metavar="SUBSTR",
+                        help="run-id mode: only cells whose label "
+                             "contains SUBSTR")
+    parser.add_argument("--manifest-dir", default=None, metavar="DIR",
+                        help="manifest root (default results/runs or "
+                             "REPRO_RUNS_DIR)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the analysis as JSON instead of text")
+    args = parser.parse_args(argv)
+
+    pairs, error = _resolve_traces(args.ref, args.manifest_dir, args.cell)
+    if error:
+        print(f"explain: {error}", file=sys.stderr)
+        return 2
+    analyses = []
+    for source, path in pairs:
+        events, error = _load_trace(path)
+        if events is None:
+            print(f"explain: {error}", file=sys.stderr)
+            return 2
+        analyses.append((source, analyze_trace(events)))
+    if args.json:
+        payload = [dict(analysis, source=source)
+                   for source, analysis in analyses]
+        print(json.dumps(payload[0] if len(payload) == 1 else payload,
+                         indent=2, sort_keys=True))
+    else:
+        print("\n\n".join(render_analysis(source, analysis)
+                          for source, analysis in analyses))
+    return 0

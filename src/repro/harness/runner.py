@@ -120,6 +120,7 @@ def run_bar(
     observe=None,
     trace_dir: Optional[str] = None,
     backend: Optional[str] = None,
+    policy: str = "lru",
 ) -> BarResult:
     """Run one benchmark/machine/bar combination from scratch.
 
@@ -146,7 +147,17 @@ def run_bar(
     workers share.  The vec backend has no sanitizer/observer hooks and
     no Python-callback handler support, so those runs (and unsupported
     bars) transparently use interp; results are identical either way.
+
+    ``policy`` selects the L1/L2 replacement policy by registry name
+    (:mod:`repro.memory.replacement`); ``"lru"`` is the paper's default.
+    Stateful policies (plru/rrip/brrip) are outside the flat vec kernels'
+    inline recency model, so those runs fall back to interp (the result
+    is the same; the telemetry records the effective backend).  The
+    random policy's LCG seed derives from the workload *seed* via
+    :func:`repro.memory.derive_seed` — seed 0 keeps the historical
+    constant, so existing captures stay digit-exact.
     """
+    from repro.memory import derive_seed
     from repro.obs import Observer, maybe_observer, obs_trace_dir
     from repro.sanitize import maybe_sanitizer
     from repro.vec import resolve_backend, vec_supports
@@ -157,13 +168,15 @@ def run_bar(
     else:
         obs = maybe_observer(observe)
     if (resolve_backend(backend) == "vec" and san is None and obs is None
-            and vec_supports(bar)):
+            and vec_supports(bar, policy)):
         from repro.vec import run_bar_vec
 
         return run_bar_vec(benchmark, machine_key, bar, instructions,
-                           warmup, seed=seed)
+                           warmup, seed=seed, policy=policy)
     spec = MACHINES[machine_key]
-    core = build_core(spec, informing=bar.informing)
+    core = build_core(spec, informing=bar.informing,
+                      replacement_policy=policy,
+                      replacement_seed=derive_seed(seed))
     if san is not None:
         san.attach(core)
     if obs is not None:
@@ -233,6 +246,7 @@ def run_figure(
     warmup: int = DEFAULT_WARMUP,
     seed: int = 0,
     engine=None,
+    policy: str = "lru",
 ) -> FigureResult:
     """Run a full bars × benchmarks × machines grid and normalize.
 
@@ -240,7 +254,8 @@ def run_figure(
     submitted through a :class:`repro.exec.JobRunner` — *engine* if given
     (the CLI wires one up from ``--jobs/--no-cache/--trace``), otherwise
     a fresh serial, cache-less runner whose behaviour matches the
-    historical inline loop exactly.
+    historical inline loop exactly.  *policy* applies one replacement
+    policy to every cell (``--policy`` on the CLI).
     """
     from repro.exec import ExecOptions, JobRunner, SimJob, bar_result_from_dict
 
@@ -248,7 +263,8 @@ def run_figure(
         engine = JobRunner(ExecOptions(jobs=1, cache=False))
     jobs = [
         SimJob.bar(benchmark=benchmark, machine=machine, label=label,
-                   instructions=instructions, warmup=warmup, seed=seed)
+                   instructions=instructions, warmup=warmup, seed=seed,
+                   policy=policy)
         for benchmark in benchmarks
         for machine in machines
         for label in labels
@@ -262,27 +278,28 @@ def run_figure(
 def figure2(instructions: int = DEFAULT_INSTRUCTIONS,
             warmup: int = DEFAULT_WARMUP,
             benchmarks: Optional[Sequence[str]] = None,
-            seed: int = 0, engine=None) -> FigureResult:
+            seed: int = 0, engine=None, policy: str = "lru") -> FigureResult:
     """Figure 2: N/S1/U1/S10/U10 on both machines, thirteen benchmarks."""
     return run_figure(
         "figure2", benchmarks or FIGURE2_BENCHMARKS, ["ooo", "inorder"],
         ["N", "S1", "U1", "S10", "U10"], instructions, warmup,
-        seed=seed, engine=engine)
+        seed=seed, engine=engine, policy=policy)
 
 
 def figure3(instructions: int = DEFAULT_INSTRUCTIONS,
             warmup: int = DEFAULT_WARMUP,
-            seed: int = 0, engine=None) -> FigureResult:
+            seed: int = 0, engine=None, policy: str = "lru") -> FigureResult:
     """Figure 3: su2cor, which needs its own y-axis."""
     return run_figure("figure3", ["su2cor"], ["ooo", "inorder"],
                       ["N", "S1", "U1", "S10", "U10"], instructions, warmup,
-                      seed=seed, engine=engine)
+                      seed=seed, engine=engine, policy=policy)
 
 
 def handler100(instructions: int = DEFAULT_INSTRUCTIONS,
                warmup: int = DEFAULT_WARMUP,
                benchmarks: Sequence[str] = ("compress", "su2cor", "ora"),
-               seed: int = 0, engine=None) -> FigureResult:
+               seed: int = 0, engine=None,
+               policy: str = "lru") -> FigureResult:
     """§4.2.2: 100-instruction handlers on the miss-heavy and miss-free ends.
 
     The paper reports these for the in-order model: compress ~6x slower,
@@ -290,24 +307,26 @@ def handler100(instructions: int = DEFAULT_INSTRUCTIONS,
     """
     return run_figure("handler100", benchmarks, ["inorder"],
                       ["N", "S100"], instructions, warmup,
-                      seed=seed, engine=engine)
+                      seed=seed, engine=engine, policy=policy)
 
 
 def branch_vs_exception(instructions: int = DEFAULT_INSTRUCTIONS,
                         warmup: int = DEFAULT_WARMUP,
                         benchmark: str = "compress",
-                        seed: int = 0, engine=None) -> FigureResult:
+                        seed: int = 0, engine=None,
+                        policy: str = "lru") -> FigureResult:
     """§4.2.2/§3.2: exception-style traps cost ~7-9% extra on compress."""
     return run_figure("branch_vs_exception", [benchmark], ["ooo"],
                       ["N", "S1", "E1", "S10", "E10"], instructions, warmup,
-                      seed=seed, engine=engine)
+                      seed=seed, engine=engine, policy=policy)
 
 
 def cc_vs_trap(instructions: int = DEFAULT_INSTRUCTIONS,
                warmup: int = DEFAULT_WARMUP,
                benchmark: str = "compress",
-               seed: int = 0, engine=None) -> FigureResult:
+               seed: int = 0, engine=None,
+               policy: str = "lru") -> FigureResult:
     """§2.3: the CC check and set-MHAR-per-reference cost about the same."""
     return run_figure("cc_vs_trap", [benchmark], ["ooo", "inorder"],
                       ["N", "CC1", "U1"], instructions, warmup,
-                      seed=seed, engine=engine)
+                      seed=seed, engine=engine, policy=policy)

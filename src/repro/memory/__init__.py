@@ -9,10 +9,18 @@ bandwidth-limited main memory (one access per N cycles).
 """
 
 from repro.memory.config import CacheConfig, HierarchyConfig
-from repro.memory.cache import Cache, EvictedLine
+from repro.memory.cache import Cache, EvictedLine, REPLACEMENT_POLICIES
 from repro.memory.mshr import MSHR, MSHRFile
 from repro.memory.main_memory import MainMemory
 from repro.memory.hierarchy import AccessResult, MemoryHierarchy
+from repro.memory.replacement import (
+    DEFAULT_REPLACEMENT_SEED,
+    ReplacementPolicy,
+    available_policies,
+    create_policy,
+    derive_seed,
+    get_policy_class,
+)
 from repro.memory.stats import MemStats
 from repro.memory.victim_cache import VictimCache, VictimCachedL1
 
@@ -21,6 +29,13 @@ __all__ = [
     "HierarchyConfig",
     "Cache",
     "EvictedLine",
+    "REPLACEMENT_POLICIES",
+    "DEFAULT_REPLACEMENT_SEED",
+    "ReplacementPolicy",
+    "available_policies",
+    "create_policy",
+    "derive_seed",
+    "get_policy_class",
     "MSHR",
     "MSHRFile",
     "MainMemory",

@@ -1,9 +1,9 @@
-"""A set-associative cache with true-LRU replacement.
+"""A set-associative cache with pluggable replacement (true LRU default).
 
-The cache tracks tags, dirty bits and LRU ordering only — data values live
-in the functional layer (:mod:`repro.isa.interp`) or nowhere at all for the
-statistical workloads.  All methods take *line addresses* are derived from
-byte addresses internally, so callers pass plain byte addresses.
+The cache tracks tags, dirty bits and replacement ordering only — data
+values live in the functional layer (:mod:`repro.isa.interp`) or nowhere at
+all for the statistical workloads.  All methods take byte addresses; *line
+addresses* are derived internally.
 
 Recency is tracked through dict insertion order (Python dicts are ordered):
 each set maps line address -> dirty flag, a recency refresh is a delete and
@@ -12,6 +12,13 @@ replaces the historical per-way LRU stamps and their ``min()`` scan in the
 victim chooser; because the stamp clock was strictly monotonic, "minimum
 stamp" and "first in insertion/refresh order" pick identical victims, so
 the rewrite is cycle-exact.
+
+Which events refresh the order — and whether the victim comes from the
+front or a seeded random index — is decided by the replacement policy,
+looked up by name in :mod:`repro.memory.replacement`.  The dict-order
+family (lru/fifo/random) compiles down to the same inline code this module
+has always run; stateful policies (plru/rrip/brrip) additionally receive
+on-hit/on-fill/evict/on-invalidate callbacks through ``self._stateful``.
 """
 
 from __future__ import annotations
@@ -21,6 +28,11 @@ from itertools import islice
 from typing import Dict, List, Optional
 
 from repro.memory.config import CacheConfig
+from repro.memory.replacement import (
+    DEFAULT_REPLACEMENT_SEED,
+    available_policies,
+    create_policy,
+)
 
 
 @dataclass(frozen=True)
@@ -31,9 +43,15 @@ class EvictedLine:
     dirty: bool
 
 
-#: Supported replacement policies.  The paper's machines use true LRU;
-#: FIFO and (seeded) random exist for the replacement ablation bench.
-REPLACEMENT_POLICIES = ("lru", "fifo", "random")
+def _replacement_policies() -> tuple:
+    """Registered policy names (module attribute kept for compatibility)."""
+    return available_policies()
+
+
+#: Supported replacement policies (registry order: the paper's true LRU
+#: and the historical fifo/random ablation entries first, then the
+#: tree-PLRU and RRIP-family additions).
+REPLACEMENT_POLICIES = _replacement_policies()
 
 
 class Cache:
@@ -54,23 +72,35 @@ class Cache:
     * **random** — order is pure insertion order (never refreshed) and the
       victim is drawn from it with a seeded LCG, reproducing the historical
       ``list(cache_set)[lcg % ways]`` choice without building the list.
+
+    Stateful policies (**plru**, **rrip**, **brrip**) keep their own per-set
+    metadata next to the dict and choose victims through it; the dict then
+    carries pure insertion order and the dirty bits.
     """
 
     def __init__(self, config: CacheConfig, name: str = "cache",
-                 policy: str = "lru", seed: int = 12345) -> None:
-        if policy not in REPLACEMENT_POLICIES:
-            raise ValueError(
-                f"unknown replacement policy {policy!r}; "
-                f"choose from {REPLACEMENT_POLICIES}")
+                 policy: str = "lru",
+                 seed: int = DEFAULT_REPLACEMENT_SEED) -> None:
+        pol = create_policy(policy, config, seed)
         self.config = config
         self.name = name
         self.policy = policy
+        self.policy_impl = pol
         self._sets: List[Dict[int, bool]] = [dict() for _ in range(config.num_sets)]
         self._set_mask = config.num_sets - 1
         self._line_shift = config.line_size.bit_length() - 1
         self._assoc = config.assoc
-        self._is_lru = policy == "lru"
-        self._is_random = policy == "random"
+        # Flag view of the dict-order family; the inline hot paths in this
+        # module and in MemoryHierarchy/vec key off these exactly as they
+        # did before the registry existed.
+        self._is_lru = pol.dict_order and pol.refresh_on_hit
+        self._is_random = pol.dict_order and pol.random_victim
+        # Stateful policies keep the dict in pure insertion order (their
+        # metadata owns recency); random never reorders either.
+        self._refill_reorders = pol.dict_order and pol.refresh_on_fill
+        # Stateful policies get touch callbacks; None keeps the hook cost
+        # to one identity test on the dict-order family.
+        self._stateful = None if pol.dict_order else pol
         # Cheap deterministic LCG for the random policy (no random import
         # on the hot path).
         self._rand_state = seed or 1
@@ -100,8 +130,11 @@ class Cache:
         if update_lru and self._is_lru:
             del cache_set[line]
             cache_set[line] = dirty or is_write
-        elif is_write:
-            cache_set[line] = True
+        else:
+            if is_write:
+                cache_set[line] = True
+            if update_lru and self._stateful is not None:
+                self._stateful.on_hit(line & self._set_mask, line)
         return True
 
     def fill(self, addr: int, dirty: bool = False) -> Optional[EvictedLine]:
@@ -114,20 +147,30 @@ class Cache:
         cache_set = self._sets[line & self._set_mask]
         existing = cache_set.get(line)
         if existing is not None:
-            if self._is_random:
-                # Random replacement never reorders: victim choice indexes
-                # pure insertion order, exactly as the stamp era did.
-                cache_set[line] = existing or dirty
-            else:
+            if self._refill_reorders:
                 del cache_set[line]
                 cache_set[line] = existing or dirty
+            else:
+                # Random replacement never reorders: victim choice indexes
+                # pure insertion order, exactly as the stamp era did.
+                # Stateful policies likewise keep pure insertion order and
+                # track the touch in their own metadata.
+                cache_set[line] = existing or dirty
+                if self._stateful is not None:
+                    self._stateful.on_hit(line & self._set_mask, line)
             return None
         victim: Optional[EvictedLine] = None
+        stateful = self._stateful
         if len(cache_set) >= self._assoc:
-            victim_line = self._choose_victim(cache_set)
+            if stateful is not None:
+                victim_line = stateful.evict(line & self._set_mask, cache_set)
+            else:
+                victim_line = self._choose_victim(cache_set)
             victim = EvictedLine(victim_line, cache_set[victim_line])
             del cache_set[victim_line]
         cache_set[line] = dirty
+        if stateful is not None:
+            stateful.on_fill(line & self._set_mask, line)
         if self._san is not None:
             self._san.on_fill(self, line & self._set_mask)
         if self._obs is not None:
@@ -149,6 +192,8 @@ class Cache:
         cache_set = self._sets[line & self._set_mask]
         if line in cache_set:
             del cache_set[line]
+            if self._stateful is not None:
+                self._stateful.on_invalidate(line & self._set_mask, line)
             if self._san is not None:
                 self._san.on_invalidate(self, line & self._set_mask)
             if self._obs is not None:
@@ -171,6 +216,8 @@ class Cache:
         """Empty the cache (used between experiment phases)."""
         for cache_set in self._sets:
             cache_set.clear()
+        if self._stateful is not None:
+            self._stateful.reset()
 
     def resident_lines(self) -> int:
         """Number of lines currently resident (for occupancy assertions)."""

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.memory.replacement import get_policy_class
+
 
 def _is_pow2(n: int) -> bool:
     return n > 0 and (n & (n - 1)) == 0
@@ -59,8 +61,10 @@ class HierarchyConfig:
     data_banks: int = 2
     fill_time: int = 4               # cycles a fill occupies the data banks
     mem_cycles_per_access: int = 20  # main-memory bandwidth: 1 access / N cycles
+    replacement_policy: str = "lru"  # registry name (repro.memory.replacement)
 
     def __post_init__(self) -> None:
+        get_policy_class(self.replacement_policy)  # raises on unknown names
         if self.l1.line_size != self.l2.line_size:
             raise ValueError("L1 and L2 must share a line size")
         if self.l1_to_l2_latency < 1 or self.l1_to_mem_latency < self.l1_to_l2_latency:

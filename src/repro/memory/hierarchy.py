@@ -20,6 +20,7 @@ from typing import List, Optional, Tuple
 
 from repro.memory.cache import Cache
 from repro.memory.config import CacheConfig, HierarchyConfig
+from repro.memory.replacement import DEFAULT_REPLACEMENT_SEED
 from repro.memory.main_memory import MainMemory
 from repro.memory.mshr import MSHRFile
 from repro.memory.stats import MemStats
@@ -82,11 +83,20 @@ class MemoryHierarchy:
         icache: Optional[CacheConfig] = None,
         extended_mshr_lifetime: bool = False,
         stream_buffers: int = 0,
-        replacement_policy: str = "lru",
+        replacement_policy: Optional[str] = None,
+        replacement_seed: int = DEFAULT_REPLACEMENT_SEED,
     ) -> None:
         self.config = config
-        self.l1 = Cache(config.l1, "L1D", policy=replacement_policy)
-        self.l2 = Cache(config.l2, "L2", policy=replacement_policy)
+        if replacement_policy is None:
+            replacement_policy = config.replacement_policy
+        self.replacement_policy = replacement_policy
+        self.l1 = Cache(config.l1, "L1D", policy=replacement_policy,
+                        seed=replacement_seed)
+        self.l2 = Cache(config.l2, "L2", policy=replacement_policy,
+                        seed=replacement_seed)
+        # The instruction cache stays true LRU: the paper's handler-overhead
+        # model only needs first-touch cost, and the policy ablations are
+        # about the data side.
         self.icache = Cache(icache, "L1I") if icache is not None else None
         self.mshrs = MSHRFile(config.mshr_count, extended_mshr_lifetime)
         self.memory = MainMemory(config.mem_cycles_per_access)
@@ -119,6 +129,12 @@ class MemoryHierarchy:
         # Optional observer (repro.obs); attached via
         # Observer.attach_hierarchy, same pattern and same off cost.
         self._obs = None
+        # Optional L1 fill filter (adaptive bypass, repro.apps.bypass):
+        # called with the byte address of an arriving fill; returning True
+        # skips the L1 install (the line still lands in the L2).  None
+        # keeps the cost to one identity test per fill.
+        self.bypass_filter = None
+        self.bypassed_fills = 0
 
     # -- internal helpers ----------------------------------------------------
     def _line_addr(self, addr: int) -> int:
@@ -155,6 +171,16 @@ class MemoryHierarchy:
                 # stopped the forward; we also skip the L1 install.  The L2
                 # install above still happens — the paper's "effectively
                 # prefetched into the second-level cache".
+                continue
+            if self.bypass_filter is not None and self.bypass_filter(byte_addr):
+                # Adaptive bypass: the handler judged this line dead on
+                # arrival, so it never enters the L1 (no bank fill, no
+                # victim).  The line stays in the L2; a dirty merge writes
+                # through to the L2 copy instead.
+                self.bypassed_fills += 1
+                if dirty:
+                    self.l2.probe(byte_addr, is_write=True)
+                self.mshrs.mark_filled(mshr_id)
                 continue
             self._claim_bank(line_addr, ready, self.config.fill_time)
             victim = self.l1.fill(byte_addr, dirty=dirty)
@@ -214,8 +240,12 @@ class MemoryHierarchy:
             if l1._is_lru:
                 del cache_set[line_addr]
                 cache_set[line_addr] = dirty or is_write
-            elif is_write:
-                cache_set[line_addr] = True
+            else:
+                if is_write:
+                    cache_set[line_addr] = True
+                stateful = l1._stateful
+                if stateful is not None:
+                    stateful.on_hit(line_addr & l1._set_mask, line_addr)
             if not prefetch:
                 stats.l1_hits += 1
                 if obs is not None:

@@ -1,0 +1,356 @@
+"""Pluggable cache replacement policies — the registry behind ``Cache``.
+
+The cache's replacement behaviour is described by a
+:class:`ReplacementPolicy` entry looked up by name in a module-level
+registry.  Two families coexist:
+
+* **dict-order policies** (``lru``, ``fifo``, ``random``) — their whole
+  semantics is *which events refresh a line's position* in the set's
+  insertion-ordered dict, plus how the victim index is drawn.  They carry
+  no state of their own: :class:`repro.memory.cache.Cache` interprets the
+  three class flags (``refresh_on_hit`` / ``refresh_on_fill`` /
+  ``random_victim``) with exactly the inline code it has always run, so
+  re-expressing them as registry entries is digit-exact by construction
+  (the golden-parity suite proves it end to end).
+* **stateful policies** (``plru``, ``rrip``, ``brrip``) — they keep real
+  per-set metadata (a PLRU bit tree, RRPV counters) and take part in the
+  cache's operations through four touch hooks: ``on_hit`` (a probe hit or
+  a merged re-fill), ``on_fill`` (a new line installed), ``evict``
+  (choose and release the victim of a full set) and ``on_invalidate``.
+
+Victim choice for every policy is a pure function of the access history,
+the configuration and the seed — simulations stay deterministic, which is
+what lets :meth:`repro.exec.SimJob.cache_key` treat the policy name as a
+complete description.
+
+Seeding: the ``random`` and ``brrip`` policies draw from the same LCG the
+cache has always used.  :func:`derive_seed` maps the harness-level
+workload seed onto a cache seed — seed 0 (the default everywhere) keeps
+the historical constant :data:`DEFAULT_REPLACEMENT_SEED` so existing
+golden captures replay digit-exact, while a non-zero ``--seed`` gives the
+random policy an honestly different (but reproducible) eviction stream.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple, Type
+
+#: The cache seed used when no harness seed is in play — the historical
+#: hardcoded LCG seed, load-bearing for golden-capture parity.
+DEFAULT_REPLACEMENT_SEED = 12345
+
+#: LCG constants shared by the random policy and BRRIP's insertion dice
+#: (same generator the cache has used since the stamp era).
+_LCG_MUL = 1103515245
+_LCG_ADD = 12345
+_LCG_MASK = 0x7FFFFFFF
+
+
+def derive_seed(harness_seed: int, salt: int = 0) -> int:
+    """Cache replacement seed for a harness-level workload seed.
+
+    Seed 0 — the untouched default path — maps to
+    :data:`DEFAULT_REPLACEMENT_SEED`, keeping every existing capture
+    digit-exact.  Any other seed is mixed (splitmix-style) so nearby
+    harness seeds give unrelated eviction streams; *salt* separates
+    consumers that want distinct streams from one harness seed.
+    """
+    if not harness_seed:
+        return DEFAULT_REPLACEMENT_SEED
+    x = (harness_seed * 0x9E3779B1 + salt * 0x85EBCA6B
+         + DEFAULT_REPLACEMENT_SEED) & _LCG_MASK
+    return x or DEFAULT_REPLACEMENT_SEED
+
+
+class ReplacementPolicy:
+    """Base replacement-policy entry.
+
+    Class attributes describe the dict-order family; stateful policies
+    override the hook methods instead.  Instances are constructed per
+    cache with ``(config, seed)`` where *config* is the cache's
+    :class:`repro.memory.config.CacheConfig`.
+    """
+
+    #: Registry key (subclasses set it).
+    name: str = ""
+    #: True when the policy is fully expressed by the set dict's order.
+    dict_order: bool = False
+    #: dict-order: a probe hit moves the line to the back of the order.
+    refresh_on_hit: bool = False
+    #: dict-order: a (re-)fill moves the line to the back of the order.
+    refresh_on_fill: bool = True
+    #: dict-order: the victim indexes the order through the seeded LCG
+    #: instead of taking the front.
+    random_victim: bool = False
+
+    def __init__(self, config, seed: int = DEFAULT_REPLACEMENT_SEED) -> None:
+        self.config = config
+        self.seed = seed
+
+    # -- stateful hooks (no-ops for the dict-order family) -------------------
+    def on_hit(self, set_index: int, line_addr: int) -> None:
+        """The resident *line_addr* was touched (probe hit or re-fill)."""
+
+    def on_fill(self, set_index: int, line_addr: int) -> None:
+        """A new line was installed into a set with a free way."""
+
+    def evict(self, set_index: int, cache_set: Dict[int, bool]) -> int:
+        """Choose the victim of a full set and release its metadata.
+
+        *cache_set* is the set's resident dict (line addr -> dirty bit) in
+        insertion order; the cache deletes the returned line afterwards.
+        """
+        raise NotImplementedError
+
+    def on_invalidate(self, set_index: int, line_addr: int) -> None:
+        """The resident *line_addr* was invalidated (way freed)."""
+
+    def reset(self) -> None:
+        """Drop all per-set metadata (cache flush)."""
+
+
+_REGISTRY: Dict[str, Type[ReplacementPolicy]] = {}
+
+
+def register(cls: Type[ReplacementPolicy]) -> Type[ReplacementPolicy]:
+    """Class decorator: add a policy to the registry under ``cls.name``."""
+    if not cls.name:
+        raise ValueError(f"policy class {cls.__name__} has no name")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def available_policies() -> Tuple[str, ...]:
+    """Registered policy names, registration order (historical ones first)."""
+    return tuple(_REGISTRY)
+
+
+def get_policy_class(name: str) -> Type[ReplacementPolicy]:
+    """Look up a registered policy class.
+
+    Raises:
+        ValueError: for unknown names, listing the registered choices.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown replacement policy {name!r}; "
+            f"choose from {available_policies()}") from None
+
+
+def create_policy(name: str, config,
+                  seed: int = DEFAULT_REPLACEMENT_SEED) -> ReplacementPolicy:
+    """Instantiate the policy *name* for one cache."""
+    return get_policy_class(name)(config, seed)
+
+
+# -- the dict-order family (semantics interpreted by Cache) -------------------
+
+@register
+class LRUPolicy(ReplacementPolicy):
+    """True LRU: probe hits and fills both refresh recency (the paper's
+    machines)."""
+
+    name = "lru"
+    dict_order = True
+    refresh_on_hit = True
+    refresh_on_fill = True
+
+
+@register
+class FIFOPolicy(ReplacementPolicy):
+    """FIFO: only fills refresh the order (a merged write miss counts as a
+    re-fill, matching the historical stamp semantics)."""
+
+    name = "fifo"
+    dict_order = True
+    refresh_on_hit = False
+    refresh_on_fill = True
+
+
+@register
+class RandomPolicy(ReplacementPolicy):
+    """Seeded random: pure insertion order, victim drawn by the cache's
+    LCG — reproducing the historical ``list(set)[lcg % ways]`` choice."""
+
+    name = "random"
+    dict_order = True
+    refresh_on_hit = False
+    refresh_on_fill = False
+    random_victim = True
+
+
+# -- tree-PLRU ----------------------------------------------------------------
+
+@register
+class TreePLRUPolicy(ReplacementPolicy):
+    """Tree pseudo-LRU over a power-of-two associativity.
+
+    Per set: ``assoc - 1`` direction bits arranged as an implicit binary
+    heap (bit ``p`` = 0 sends the victim walk left, 1 sends it right) and
+    a way table mapping ways to resident lines.  Touching a way flips
+    every bit on its root path to point *away* from it; the victim walk
+    follows the bits from the root.  Hardware cost is ``assoc - 1`` bits
+    per set versus true LRU's ``assoc·log2(assoc)`` — the classic
+    approximation the ablation bench quantifies.
+    """
+
+    name = "plru"
+
+    def __init__(self, config, seed: int = DEFAULT_REPLACEMENT_SEED) -> None:
+        super().__init__(config, seed)
+        assoc = config.assoc
+        if assoc & (assoc - 1):
+            raise ValueError(
+                f"tree-PLRU needs a power-of-two associativity, got {assoc}")
+        self.assoc = assoc
+        self._internal = assoc - 1
+        num_sets = config.num_sets
+        self._bits = [0] * num_sets
+        self._ways = [[None] * assoc for _ in range(num_sets)]
+        self._way_of: list = [dict() for _ in range(num_sets)]
+
+    def _touch(self, set_index: int, way: int) -> None:
+        bits = self._bits[set_index]
+        node = self._internal + way
+        while node:
+            parent = (node - 1) >> 1
+            if node == 2 * parent + 1:   # accessed via the left child
+                bits |= 1 << parent      # -> point the victim walk right
+            else:
+                bits &= ~(1 << parent)   # -> point it left
+            node = parent
+        self._bits[set_index] = bits
+
+    def on_hit(self, set_index: int, line_addr: int) -> None:
+        way = self._way_of[set_index].get(line_addr)
+        if way is not None:
+            self._touch(set_index, way)
+
+    def on_fill(self, set_index: int, line_addr: int) -> None:
+        ways = self._ways[set_index]
+        way = ways.index(None)  # the cache guarantees a free way
+        ways[way] = line_addr
+        self._way_of[set_index][line_addr] = way
+        self._touch(set_index, way)
+
+    def evict(self, set_index: int, cache_set: Dict[int, bool]) -> int:
+        bits = self._bits[set_index]
+        internal = self._internal
+        node = 0
+        while node < internal:
+            node = 2 * node + 1 + ((bits >> node) & 1)
+        way = node - internal
+        ways = self._ways[set_index]
+        line = ways[way]
+        ways[way] = None
+        del self._way_of[set_index][line]
+        return line
+
+    def on_invalidate(self, set_index: int, line_addr: int) -> None:
+        way = self._way_of[set_index].pop(line_addr, None)
+        if way is not None:
+            self._ways[set_index][way] = None
+
+    def reset(self) -> None:
+        num_sets = self.config.num_sets
+        self._bits = [0] * num_sets
+        self._ways = [[None] * self.assoc for _ in range(num_sets)]
+        self._way_of = [dict() for _ in range(num_sets)]
+
+
+# -- RRIP family (TRRIP-inspired) ---------------------------------------------
+
+@register
+class SRRIPPolicy(ReplacementPolicy):
+    """Static RRIP (SRRIP-HP) with 2-bit re-reference prediction values.
+
+    Fills insert at RRPV ``max - 1`` ("long re-reference interval"), hits
+    promote to 0 ("near-immediate"), and the victim is the first line in
+    way order whose RRPV saturated at ``max`` — ageing every line until
+    one does.  Lines that are filled and never touched again age out
+    ahead of lines with demonstrated reuse, which is exactly the
+    scan/thrash resistance the TRRIP line of work builds on.
+    """
+
+    name = "rrip"
+    #: 2-bit RRPVs: 0 = near-immediate reuse, 3 = eviction candidate.
+    MAX_RRPV = 3
+    INSERT_RRPV = 2
+
+    def __init__(self, config, seed: int = DEFAULT_REPLACEMENT_SEED) -> None:
+        super().__init__(config, seed)
+        self._rrpv: list = [dict() for _ in range(config.num_sets)]
+
+    def _insert_rrpv(self) -> int:
+        return self.INSERT_RRPV
+
+    def on_fill(self, set_index: int, line_addr: int) -> None:
+        self._rrpv[set_index][line_addr] = self._insert_rrpv()
+
+    def on_hit(self, set_index: int, line_addr: int) -> None:
+        rrpv = self._rrpv[set_index]
+        if line_addr in rrpv:
+            rrpv[line_addr] = 0
+
+    def evict(self, set_index: int, cache_set: Dict[int, bool]) -> int:
+        rrpv = self._rrpv[set_index]
+        maximum = self.MAX_RRPV
+        while True:
+            for line in cache_set:  # way order = insertion order: a fixed,
+                if rrpv[line] >= maximum:  # deterministic tie-break
+                    del rrpv[line]
+                    return line
+            for line in rrpv:
+                rrpv[line] += 1
+
+    def on_invalidate(self, set_index: int, line_addr: int) -> None:
+        self._rrpv[set_index].pop(line_addr, None)
+
+    def reset(self) -> None:
+        self._rrpv = [dict() for _ in range(self.config.num_sets)]
+
+
+@register
+class BRRIPPolicy(SRRIPPolicy):
+    """Bimodal RRIP: inserts at ``max`` RRPV, occasionally (1/32, drawn
+    from the seeded LCG) at ``max - 1`` — the thrash-resistant half of
+    DRRIP, useful when a working set cycles through a set faster than
+    SRRIP's insertion point can protect it."""
+
+    name = "brrip"
+    #: One long-interval insertion per this many fills (the rest insert
+    #: distant, i.e. immediately evictable once aged).
+    EPSILON = 32
+
+    def __init__(self, config, seed: int = DEFAULT_REPLACEMENT_SEED) -> None:
+        super().__init__(config, seed)
+        self._state = seed or 1
+
+    def _insert_rrpv(self) -> int:
+        self._state = (self._state * _LCG_MUL + _LCG_ADD) & _LCG_MASK
+        if self._state % self.EPSILON == 0:
+            return self.INSERT_RRPV
+        return self.MAX_RRPV
+
+    def reset(self) -> None:
+        super().reset()
+        self._state = self.seed or 1
+
+
+__all__ = [
+    "DEFAULT_REPLACEMENT_SEED",
+    "ReplacementPolicy",
+    "LRUPolicy",
+    "FIFOPolicy",
+    "RandomPolicy",
+    "TreePLRUPolicy",
+    "SRRIPPolicy",
+    "BRRIPPolicy",
+    "available_policies",
+    "create_policy",
+    "derive_seed",
+    "get_policy_class",
+    "register",
+]

@@ -144,6 +144,9 @@ def build_cells(jobs: Sequence, results: Sequence[Optional[Dict[str, Any]]],
             "status": status,
             "cache": done.cache if done is not None else None,
             "wall": done.wall if done is not None else None,
+            # The cell's repro.obs event trace (runs under --trace-events
+            # only); ``harness explain <run_id>`` reads it back.
+            "trace": done.trace if done is not None else None,
             "attempts": attempts.get(key, 0),
             "sim": _sim_view(result),
             "metrics_digest": _metrics_digest(job.label),

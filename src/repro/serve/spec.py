@@ -45,7 +45,7 @@ MAX_INSTRUCTIONS = 2_000_000
 #: a typo like "benchmrk" must not silently fall back to a default).
 _BAR_FIELDS = frozenset(
     ["kind", "benchmark", "machine", "label", "instructions", "warmup",
-     "seed", "backend"])
+     "seed", "backend", "policy"])
 _AC_FIELDS = frozenset(["kind", "workload", "method", "machine_params"])
 
 
@@ -132,8 +132,19 @@ def _validate_bar(payload: Mapping[str, Any]) -> SimJob:
             resolve_backend(backend)
         except BackendError as exc:
             raise SpecError("backend", str(exc))
+    policy = "lru"
+    if "policy" in payload:
+        # Unlike backend, the policy changes simulated results, so it IS
+        # part of the SimJob (and hence the cache key) — but the default
+        # "lru" is normalized away by SimJob.bar, keeping pre-registry
+        # keys reachable.
+        from repro.memory import available_policies
+
+        policy = _require_str(payload, "policy",
+                              set(available_policies()))
     return SimJob.bar(benchmark=benchmark, machine=machine, label=label,
-                      instructions=instructions, warmup=warmup, seed=seed)
+                      instructions=instructions, warmup=warmup, seed=seed,
+                      policy=policy)
 
 
 def _validate_access_control(payload: Mapping[str, Any]) -> SimJob:
@@ -205,10 +216,13 @@ def job_to_spec(job: SimJob) -> Dict[str, Any]:
     """
     cfg = job.config_dict()
     if job.kind == KIND_BAR:
-        return {"kind": KIND_BAR, "benchmark": job.benchmark,
+        spec = {"kind": KIND_BAR, "benchmark": job.benchmark,
                 "machine": job.machine, "label": cfg["label"],
                 "instructions": job.instructions, "warmup": job.warmup,
                 "seed": job.seed}
+        if "policy" in cfg:
+            spec["policy"] = cfg["policy"]
+        return spec
     return {"kind": KIND_ACCESS_CONTROL, "workload": job.benchmark,
             "method": cfg["method"],
             "machine_params": cfg["machine_params"]}

@@ -81,17 +81,29 @@ def require_numpy():
     return numpy
 
 
-def vec_supports(bar) -> bool:
+#: Replacement policies the flat kernels express exactly: the dict-order
+#: family, whose whole semantics lives in the hierarchy objects the vec
+#: kernels share with interp.  Stateful policies (plru/rrip/brrip) keep
+#: recency metadata the kernels' inline L1-hit path would bypass, so
+#: those runs fall back to interp (same results; the telemetry's
+#: ``backend`` field records the downgrade).
+VEC_POLICIES = frozenset(["lru", "fifo", "random"])
+
+
+def vec_supports(bar, policy: str = "lru") -> bool:
     """Can the vec backend replay this bar digit-exactly?
 
     The flat replay kernels cover everything the figure grids use: no
     handler, or :class:`repro.core.handlers.GenericHandler` bodies
     (single or unique, any length), under either informing mechanism.
     Python-callback handlers (:class:`CallbackHandler`) run arbitrary
-    user code per miss and fall back to the interp backend.
+    user code per miss and fall back to the interp backend — as do
+    stateful replacement policies (see :data:`VEC_POLICIES`).
     """
     from repro.core.handlers import GenericHandler
 
+    if policy not in VEC_POLICIES:
+        return False
     informing = bar.informing
     if informing is None or informing.handler is None:
         return True
@@ -99,17 +111,19 @@ def vec_supports(bar) -> bool:
 
 
 def run_bar_vec(benchmark: str, machine_key: str, bar,
-                instructions: int, warmup: int, seed: int = 0):
+                instructions: int, warmup: int, seed: int = 0,
+                policy: str = "lru"):
     """Run one bar cell on the vec backend (see repro.vec.runner)."""
     require_numpy()
     from repro.vec.runner import run_bar_vec as _impl
     return _impl(benchmark, machine_key, bar, instructions, warmup,
-                 seed=seed)
+                 seed=seed, policy=policy)
 
 
 __all__ = [
     "BACKENDS",
     "BACKEND_ENV",
+    "VEC_POLICIES",
     "BackendError",
     "resolve_backend",
     "require_numpy",

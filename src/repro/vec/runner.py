@@ -25,10 +25,26 @@ def run_bar_vec(
     instructions: int,
     warmup: int,
     seed: int = 0,
+    policy: str = "lru",
 ) -> BarResult:
-    """Run one benchmark/machine/bar cell on the flat replay kernels."""
+    """Run one benchmark/machine/bar cell on the flat replay kernels.
+
+    *policy* must be a dict-order policy (``repro.vec.VEC_POLICIES``):
+    the kernels' inline L1-hit path only understands the ``_is_lru``
+    refresh rule, so stateful policies are rejected here — the dispatch
+    in :func:`repro.harness.runner.run_bar` routes them to interp.
+    """
+    from repro.memory import derive_seed
+    from repro.vec import VEC_POLICIES
+
+    if policy not in VEC_POLICIES:
+        raise ValueError(
+            f"vec backend cannot express replacement policy {policy!r}; "
+            f"supported: {sorted(VEC_POLICIES)}")
     spec = MACHINES[machine_key]
-    core = build_core(spec, informing=bar.informing)
+    core = build_core(spec, informing=bar.informing,
+                      replacement_policy=policy,
+                      replacement_seed=derive_seed(seed))
     # Same stream bound as the interp path — the decode cache keys on it.
     limit = 8 * (instructions + warmup) + 100_000
     variant = _VARIANT_BY_INSTRUMENTATION[bar.per_ref_instrumentation]

@@ -1,0 +1,208 @@
+"""The application lab: registry, bypass controller, SimJob.app plumbing.
+
+The bypass controller's classification logic is unit-tested with
+synthetic miss references (streaming vs reusing pcs), the experiment
+registry is exercised end-to-end at tiny run sizes on the ``lab``
+machine, and the exec-engine integration is pinned down: ``SimJob.app``
+normalizes the policy the same way ``SimJob.bar`` does, an experiment is
+one cacheable job, and the second run of the same experiment is a cache
+hit with identical results.
+"""
+
+import json
+from types import SimpleNamespace
+
+import pytest
+
+from repro.apps import APP_EXPERIMENTS, AdaptiveBypassController, \
+    run_app_experiment
+from repro.exec import ExecOptions, JobRunner, SimJob, execute_job
+
+TINY = dict(instructions=1500, warmup=750)
+
+
+def miss(pc, addr):
+    return SimpleNamespace(pc=pc, addr=addr)
+
+
+# -- the registry -------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_registered_experiments(self):
+        assert sorted(APP_EXPERIMENTS) == ["bypass", "miss_profile",
+                                           "prefetch_schedule"]
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown app experiment"):
+            run_app_experiment("warmup_oracle", "compress")
+
+
+# -- the bypass controller ----------------------------------------------------
+
+
+class TestBypassController:
+    def test_streaming_pc_is_classified(self):
+        controller = AdaptiveBypassController(line_size=32,
+                                              classify_after=4)
+        for n in range(4):  # every miss on a fresh line
+            controller._on_miss(miss(pc=0x100, addr=n * 64))
+        assert 0x100 in controller.streaming_pcs
+
+    def test_reusing_pc_is_not_classified(self):
+        controller = AdaptiveBypassController(line_size=32,
+                                              classify_after=4)
+        for _ in range(8):  # every miss revisits the same line
+            controller._on_miss(miss(pc=0x100, addr=0x2000))
+        assert 0x100 not in controller.streaming_pcs
+        assert controller.marked == 0
+
+    def test_marks_only_after_classification(self):
+        controller = AdaptiveBypassController(line_size=32,
+                                              classify_after=4)
+        for n in range(6):
+            controller._on_miss(miss(pc=0x100, addr=n * 64))
+        # First 4 misses classify; the 2 after that mark their lines.
+        assert controller.marked == 2
+
+    def test_should_bypass_consumes_the_mark_once(self):
+        controller = AdaptiveBypassController(line_size=32,
+                                              classify_after=1)
+        controller._on_miss(miss(pc=0x100, addr=0))       # classifies
+        controller._on_miss(miss(pc=0x100, addr=0x40))    # marks line 0x40
+        assert controller.should_bypass(0x44) is True     # same line
+        assert controller.should_bypass(0x44) is False    # consumed
+        assert controller.bypassed == 1
+
+    def test_unmarked_line_is_not_bypassed(self):
+        controller = AdaptiveBypassController()
+        assert controller.should_bypass(0x1234) is False
+
+    def test_pc_isolation(self):
+        """One pc streaming does not taint another pc's lines."""
+        controller = AdaptiveBypassController(line_size=32,
+                                              classify_after=2)
+        for n in range(4):
+            controller._on_miss(miss(pc=0x100, addr=n * 32))
+        controller._on_miss(miss(pc=0x200, addr=0x9000))
+        assert 0x200 not in controller.streaming_pcs
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(line_size=48),
+        dict(classify_after=0),
+    ])
+    def test_invalid_arguments_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            AdaptiveBypassController(**kwargs)
+
+
+# -- experiments end to end ---------------------------------------------------
+
+
+EXPECTED_KEYS = {
+    "miss_profile": {"baseline_cycles", "cycles", "overhead",
+                     "handler_invocations", "l1_miss_rate", "hottest"},
+    "prefetch_schedule": {"baseline_cycles", "cycles", "speedup",
+                          "prefetches_launched", "miss_rate"},
+    "bypass": {"baseline_cycles", "cycles", "speedup", "streaming_pcs",
+               "bypassed_fills", "miss_rate"},
+}
+
+
+class TestExperiments:
+    @pytest.mark.parametrize("name", sorted(APP_EXPERIMENTS))
+    def test_smoke_and_result_shape(self, name):
+        result = run_app_experiment(name, "compress", **TINY)
+        assert result["experiment"] == name
+        assert result["benchmark"] == "compress"
+        assert result["machine"] == "lab"
+        assert EXPECTED_KEYS[name] <= set(result)
+        assert result["cycles"] > 0
+        json.dumps(result)  # JSON-able, so the exec cache can hold it
+
+    def test_deterministic(self):
+        first = run_app_experiment("bypass", "compress", **TINY)
+        second = run_app_experiment("bypass", "compress", **TINY)
+        assert first == second
+
+    def test_policy_reaches_the_simulation(self):
+        # Needs enough instructions for the 4-way lab L1's victim choices
+        # to diverge; below ~3000 the policies happen to agree on compress.
+        size = dict(instructions=3000, warmup=1500)
+        lru = run_app_experiment("bypass", "compress", **size)
+        rrip = run_app_experiment("bypass", "compress", policy="rrip",
+                                  **size)
+        assert rrip["policy"] == "rrip"
+        assert rrip["baseline_cycles"] != lru["baseline_cycles"]
+
+    def test_miss_profiler_finds_hot_references(self):
+        result = run_app_experiment("miss_profile", "compress", **TINY)
+        assert result["handler_invocations"] > 0
+        assert result["hottest"], "profiler saw misses but ranked none"
+        top = result["hottest"][0]
+        assert top["pc"].startswith("0x") and top["misses"] > 0
+
+
+# -- exec-engine integration --------------------------------------------------
+
+
+def app_job(**overrides):
+    fields = dict(experiment="bypass", benchmark="compress",
+                  machine="lab", seed=0, **TINY)
+    fields.update(overrides)
+    return SimJob.app(**fields)
+
+
+class TestSimJobApp:
+    def test_kind_and_label(self):
+        job = app_job()
+        assert job.kind == "app"
+        assert job.label == "compress/lab/bypass"
+
+    def test_default_policy_stays_out_of_the_key(self):
+        assert "policy" not in app_job().config_dict()
+        assert app_job().cache_key() == app_job(policy="lru").cache_key()
+
+    def test_policy_changes_the_key(self):
+        assert app_job().cache_key() != app_job(policy="rrip").cache_key()
+        assert app_job(policy="rrip").config_dict()["policy"] == "rrip"
+
+    def test_execute_job_dispatches_to_the_registry(self):
+        result = execute_job(app_job())
+        assert result["experiment"] == "bypass"
+        assert result == run_app_experiment("bypass", "compress", **TINY)
+
+    def test_second_run_is_a_cache_hit(self, tmp_path):
+        def fresh_runner():
+            return JobRunner(ExecOptions(jobs=1, cache=True,
+                                         cache_dir=str(tmp_path),
+                                         backoff=0.01))
+
+        first = fresh_runner()
+        cold = first.run([app_job()])
+        assert first.stats.cache_hits == 0
+        second = fresh_runner()
+        warm = second.run([app_job()])
+        assert second.stats.cache_hits == 1
+        assert warm == cold
+
+
+class TestAppsCli:
+    def test_single_experiment(self, capsys, tmp_path):
+        from repro.harness.apps_cli import apps_main
+
+        out_path = tmp_path / "result.json"
+        code = apps_main(["bypass", "--benchmark", "compress", "--quick",
+                          "--no-cache", "--json", str(out_path)])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "apps bypass — compress on lab" in captured.out
+        payload = json.loads(out_path.read_text())
+        assert payload["experiment"] == "bypass"
+
+    def test_unknown_benchmark_rejected(self, capsys):
+        from repro.harness.apps_cli import apps_main
+
+        with pytest.raises(SystemExit):
+            apps_main(["bypass", "--benchmark", "doom"])
+        assert "unknown benchmark" in capsys.readouterr().err

@@ -141,3 +141,31 @@ class TestExecution:
             machine=machine, name="mixed")
         assert result["execution_time"] == direct.execution_time
         assert result["remote_invalidations"] == direct.remote_invalidations
+
+
+class TestPolicyKeyStability:
+    """The replacement-policy field and the pre-registry key space.
+
+    Every result cached before the policy registry existed was keyed
+    with no ``policy`` entry in the config.  The default "lru" must keep
+    hashing to that same address (so old caches and the golden captures
+    stay reachable), while any non-default policy must move the key.
+    """
+
+    def test_default_policy_is_omitted_from_config(self):
+        assert "policy" not in bar_job().config_dict()
+        assert "policy" not in bar_job(policy="lru").config_dict()
+
+    def test_explicit_lru_matches_pre_registry_key(self):
+        assert bar_job(policy="lru").cache_key() == bar_job().cache_key()
+
+    @pytest.mark.parametrize("policy",
+                             ["fifo", "random", "plru", "rrip", "brrip"])
+    def test_non_default_policy_changes_key(self, policy):
+        assert bar_job(policy=policy).cache_key() != bar_job().cache_key()
+        assert bar_job(policy=policy).config_dict()["policy"] == policy
+
+    def test_distinct_policies_get_distinct_keys(self):
+        keys = {bar_job(policy=p).cache_key()
+                for p in ("lru", "fifo", "random", "plru", "rrip", "brrip")}
+        assert len(keys) == 6

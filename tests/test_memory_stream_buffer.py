@@ -86,7 +86,7 @@ class TestReplacementPolicies:
     def test_unknown_policy_rejected(self):
         with pytest.raises(ValueError):
             Cache(CacheConfig(size=256, assoc=2, line_size=32),
-                  policy="plru")
+                  policy="clock")
 
     def test_fifo_ignores_reuse(self):
         config = CacheConfig(size=64, assoc=2, line_size=32)  # one set

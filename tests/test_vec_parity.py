@@ -196,3 +196,35 @@ def test_unsupported_bar_falls_back_to_interp(monkeypatch):
     result = run_bar("compress", "ooo", bar, 500, 0)
     assert result.cycles > 0
     assert calls  # the Python handler really ran — interp path
+
+
+class TestBackendTelemetry:
+    """The FINISHED event reports the backend that actually ran.
+
+    This is the observable form of the fallback rule: a stateful
+    replacement policy (plru/rrip/brrip) cannot replay through the
+    decode-once vec path, so a vec-requested job must record
+    ``backend="interp"`` — silently running vec anyway would break
+    digit-exactness, and silently hiding the fallback would make the
+    telemetry lie about provenance.
+    """
+
+    def _finished(self, monkeypatch, policy):
+        from repro.exec import CollectingSink
+
+        monkeypatch.setenv(BACKEND_ENV, "vec")
+        sink = CollectingSink()
+        runner = JobRunner(ExecOptions(jobs=1, cache=False),
+                           sinks=[sink])
+        runner.run([SimJob.bar(benchmark="compress", machine="lab",
+                               label="N", instructions=500, warmup=250,
+                               policy=policy)])
+        events = [e for e in sink.events if e.event == "finished"]
+        assert len(events) == 1
+        return events[0]
+
+    def test_vec_eligible_policy_reports_vec(self, monkeypatch):
+        assert self._finished(monkeypatch, "lru").backend == "vec"
+
+    def test_stateful_policy_falls_back_visibly(self, monkeypatch):
+        assert self._finished(monkeypatch, "rrip").backend == "interp"
