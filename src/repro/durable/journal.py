@@ -165,6 +165,20 @@ class RunJournal:
                 f"run journal at {self.path} is not writable "
                 f"({type(exc).__name__}: {exc}); the run continues "
                 f"without crash-safety", RuntimeWarning, stacklevel=3)
+            # Crash-path observability (repro.trace): note the failure
+            # in the always-on flight ring and dump its tail next to
+            # the journal — a dead disk under the journal is exactly
+            # the moment post-hoc diagnosis needs the last few events.
+            try:
+                from repro.trace import flight
+
+                recorder = flight()
+                recorder.note("journal.append_failed", path=self.path,
+                              error=f"{type(exc).__name__}: {exc}")
+                recorder.dump("journal_failed",
+                              os.path.dirname(self.path) or ".")
+            except Exception:
+                pass  # never let diagnostics take down the run
         self._close_quietly()
 
     def _close_quietly(self) -> None:

@@ -44,6 +44,7 @@ from __future__ import annotations
 import contextlib
 import os
 import signal
+import sys
 import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
@@ -74,6 +75,15 @@ from repro.exec.telemetry import (
     run_header_record,
 )
 from repro.sanitize.violation import InvariantViolation
+from repro.trace import (
+    ENV_PARENT,
+    ENV_SAMPLE,
+    ENV_SPANS,
+    clear_ambient,
+    flight,
+    maybe_tracer,
+    set_ambient,
+)
 
 
 class TransientJobError(RuntimeError):
@@ -134,6 +144,18 @@ class ExecOptions:
     #: backends are digit-exact, so a :meth:`SimJob.cache_key` is
     #: backend-free and either backend may serve the shared cache.
     backend: Optional[str] = None
+    #: repro.trace head-based sampling rate for this run ([0, 1]); None
+    #: defers to ``REPRO_TRACE_SAMPLE``, then 0.0 (tracing off — the
+    #: default costs one ``is None`` test per instrumentation site).
+    trace_sample: Optional[float] = None
+    #: Incoming ``traceparent`` header (repro.serve): when it carries a
+    #: sampled context this run continues that trace regardless of the
+    #: sampling rate; an unsampled parent disables tracing (head-based
+    #: sampling — the caller's decision wins).
+    trace_parent: Optional[str] = None
+    #: Span JSONL destination override.  None (the default) places spans
+    #: next to the run's other artifacts: ``<root>/<run_id>/spans.jsonl``.
+    spans_path: Optional[str] = None
 
 
 def _timed_call(execute: Callable[[SimJob], Dict[str, Any]],
@@ -178,6 +200,24 @@ class JournalSink:
         self.journal.record(rec, **fields)
 
 
+class FlightSink:
+    """Telemetry sink feeding the process-wide repro.trace flight
+    recorder: a bounded ring of recent scheduler events that is always
+    on (appending to a deque, no I/O) and only hits disk when a crash
+    path dumps it.  This is what makes a pool-broken / invariant /
+    drain artifact readable — the last ~256 events before the fault.
+    """
+
+    def __init__(self, recorder) -> None:
+        self.recorder = recorder
+
+    def emit(self, event: JobEvent) -> None:
+        self.recorder.note(
+            "job." + event.event, key=event.key[:16], label=event.label,
+            attempt=event.attempt,
+            **({"error": event.error} if event.error else {}))
+
+
 class JobRunner:
     """Execute SimJobs through the cache/scheduler/telemetry stack.
 
@@ -215,8 +255,19 @@ class JobRunner:
         #: continues that run after a kill).
         self.last_run_id: Optional[str] = None
         self.last_journal: Optional[str] = None
+        #: Span JSONL path of the most recent run(), when it was sampled
+        #: (``harness spans <run_id>`` reads it via the manifest).
+        self.last_spans: Optional[str] = None
         self._trace_opened = False
         self._drain = False
+        #: repro.trace state for the duration of one run(): the sampled
+        #: tracer (None → tracing off, the common case), the run-root
+        #: span, the span sink path, and the flight-dump directory.
+        self._tr = None
+        self._run_span = None
+        self._spans_path: Optional[str] = None
+        self._flight_dir: Optional[str] = None
+        self._flight_dumped: set = set()
 
     # -- graceful shutdown ---------------------------------------------------
     @property
@@ -380,7 +431,23 @@ class JobRunner:
             sinks.append(collector)
         if self.options.progress:
             sinks.append(ProgressPrinter(total))
+        sinks.append(FlightSink(flight()))
         return (MultiSink(sinks) if sinks else NullSink()), trace, collector
+
+    def _maybe_flight_dump(self, reason: str) -> None:
+        """Dump the flight-recorder tail once per (run, reason).
+
+        Only materializes when a destination is known — the run's own
+        artifact directory, or ``REPRO_TRACE_FLIGHT_DIR`` — so library
+        callers without run dirs never find stray crash files in cwd.
+        """
+        if reason in self._flight_dumped:
+            return
+        self._flight_dumped.add(reason)
+        directory = self._flight_dir or os.environ.get(
+            "REPRO_TRACE_FLIGHT_DIR")
+        if directory:
+            flight().dump(reason, directory)
 
     # -- main entry ----------------------------------------------------------
     def run(self, jobs: Sequence[SimJob],
@@ -400,6 +467,29 @@ class JobRunner:
         cell whose cache entry was lost or quarantined silently re-runs.
         """
         run_id, journal = self._open_journal(len(jobs))
+        meta = self.options.run_meta or {}
+        self._tr = maybe_tracer(self.options.trace_sample,
+                                self.options.trace_parent)
+        root = self.options.journal_dir or self.options.manifest_dir
+        if self._tr is not None and run_id is None and root:
+            # Journaling is off but this run is sampled: mint the run id
+            # here so the spans land in the same <root>/<run_id>/
+            # directory the manifest will use.
+            from repro.perf.manifest import new_run_id
+
+            run_id = new_run_id(meta.get("experiment"))
+        if run_id and root:
+            self._flight_dir = os.path.join(root, run_id)
+        self._flight_dumped = set()
+        if self._tr is not None:
+            self._spans_path = self.options.spans_path or (
+                os.path.join(root, run_id, "spans.jsonl")
+                if run_id and root else None)
+            self._run_span = self._tr.start_span(
+                "run", jobs=len(jobs), workers=self.options.jobs,
+                **({"run_id": run_id} if run_id else {}),
+                **({"experiment": meta["experiment"]}
+                   if meta.get("experiment") else {}))
         sink, trace, collector = self._build_sink(len(jobs), journal)
         run_start = time.perf_counter()
         results: List[Optional[Dict[str, Any]]] = [None] * len(jobs)
@@ -410,10 +500,18 @@ class JobRunner:
             with self._graceful_signals():
                 keys = [job.cache_key() for job in jobs]
                 if journal is not None:
+                    jnl_span = (self._tr.start_span(
+                        "journal.append", parent=self._run_span)
+                        if self._tr is not None else None)
                     journal.record(
                         "run_start", run_id=run_id,
                         jobs=[{"key": key, "job": job.to_dict()}
                               for job, key in zip(jobs, keys)])
+                    if jnl_span is not None:
+                        jnl_span.finish()
+                probe_span = (self._tr.start_span(
+                    "cache.probe", parent=self._run_span)
+                    if self._tr is not None else None)
                 pending: List[int] = []
                 attempts0: Dict[int, int] = {}
                 for index, (job, key) in enumerate(zip(jobs, keys)):
@@ -433,6 +531,10 @@ class JobRunner:
                         pending.append(index)
                         if carried.get(key):
                             attempts0[index] = int(carried[key])
+                if probe_span is not None:
+                    probe_span.set_attr("hits", len(jobs) - len(pending))
+                    probe_span.set_attr("pending", len(pending))
+                    probe_span.finish()
 
                 if pending:
                     if self.options.jobs <= 1:
@@ -460,9 +562,25 @@ class JobRunner:
                                      else None)
             if trace is not None:
                 trace.close()
+            self.last_spans = (self._spans_path
+                               if self._tr is not None else None)
             if collector is not None:
+                mspan = (self._tr.start_span("manifest.write",
+                                             parent=self._run_span)
+                         if self._tr is not None else None)
                 self._write_manifest(jobs, results, collector, error,
                                      run_id=run_id)
+                if mspan is not None:
+                    mspan.finish()
+            if self._tr is not None:
+                if self._run_span is not None:
+                    self._run_span.finish(
+                        "error" if error is not None else None)
+                self._tr.flush(self._spans_path)
+                self._tr = None
+                self._run_span = None
+                self._spans_path = None
+            self._flight_dir = None
 
     def _write_manifest(self, jobs, results, collector, error,
                         run_id=None) -> None:
@@ -485,10 +603,14 @@ class JobRunner:
 
     # -- serial path ---------------------------------------------------------
     def _run_serial(self, jobs, keys, pending, results, sink,
-                    attempts: Optional[Dict[int, int]] = None) -> None:
+                    attempts: Optional[Dict[int, int]] = None,
+                    span_mode: str = "serial") -> None:
         """Run *pending* inline.  *attempts* carries prior attempt counts
         (the pool-broken fallback path), so the retry budget bounds the
-        total attempts a job gets across both execution modes."""
+        total attempts a job gets across both execution modes.
+        *span_mode* labels this path's repro.trace job spans — the
+        pool-broken fallback re-parents its re-run jobs under the same
+        run span with ``mode="serial_fallback"``."""
         cache_state = "miss" if self.cache else "off"
         for position, index in enumerate(pending):
             if self._drain:
@@ -498,39 +620,56 @@ class JobRunner:
             job, key = jobs[index], keys[index]
             attempt = attempts.get(index, 0) if attempts else 0
             violation = None
-            while True:
-                self._emit(sink, STARTED, job, key, attempt=attempt)
-                try:
-                    result, wall = _timed_call(self.execute, job)
-                    break
-                except InvariantViolation as exc:
-                    violation = exc
-                    break
-                except TransientJobError as exc:
-                    attempt += 1
-                    if attempt > self.options.retries:
-                        self._fail(sink, job, key, attempt, exc)
-                    self._retry(sink, job, key, attempt, exc)
-                except Exception as exc:
-                    self._fail(sink, job, key, attempt + 1, exc)
-            if violation is not None:
-                results[index] = self._violation_result(
-                    sink, job, key, attempt, violation)
-                continue
-            timeout = self.options.timeout
-            if timeout is not None and wall > timeout:
-                self._emit(sink, FAILED, job, key, attempt=attempt,
-                           wall=wall, error="timeout")
-                raise JobTimeoutError(
-                    f"job {job.label} took {wall:.2f}s, exceeding the "
-                    f"{timeout:.2f}s per-job timeout (serial mode can only "
-                    f"detect this after the fact; use --jobs >= 2 to "
-                    f"preempt)")
-            self._store(job, result)
-            results[index] = result
-            self._emit(sink, FINISHED, job, key, attempt=attempt,
-                       wall=wall, cache=cache_state,
-                       **self._trace_extra(job))
+            jspan = None
+            if self._tr is not None:
+                jspan = self._tr.start_span("job", parent=self._run_span,
+                                            label=job.label, mode=span_mode)
+                set_ambient(self._tr, jspan)
+            try:
+                while True:
+                    self._emit(sink, STARTED, job, key, attempt=attempt)
+                    try:
+                        result, wall = _timed_call(self.execute, job)
+                        break
+                    except InvariantViolation as exc:
+                        violation = exc
+                        break
+                    except TransientJobError as exc:
+                        attempt += 1
+                        if attempt > self.options.retries:
+                            self._fail(sink, job, key, attempt, exc)
+                        self._retry(sink, job, key, attempt, exc)
+                    except Exception as exc:
+                        self._fail(sink, job, key, attempt + 1, exc)
+                if violation is not None:
+                    if jspan is not None:
+                        jspan.set_attr("violation", True)
+                        jspan.finish("error")
+                    results[index] = self._violation_result(
+                        sink, job, key, attempt, violation)
+                    continue
+                timeout = self.options.timeout
+                if timeout is not None and wall > timeout:
+                    self._emit(sink, FAILED, job, key, attempt=attempt,
+                               wall=wall, error="timeout")
+                    raise JobTimeoutError(
+                        f"job {job.label} took {wall:.2f}s, exceeding the "
+                        f"{timeout:.2f}s per-job timeout (serial mode can "
+                        f"only detect this after the fact; use --jobs >= 2 "
+                        f"to preempt)")
+                self._store(job, result)
+                results[index] = result
+                self._emit(sink, FINISHED, job, key, attempt=attempt,
+                           wall=wall, cache=cache_state,
+                           **self._trace_extra(job),
+                           **({"span": jspan.span_id} if jspan else {}))
+            finally:
+                if jspan is not None:
+                    clear_ambient()
+                    jspan.set_attr("attempt", attempt)
+                    if jspan.end is None:
+                        jspan.finish(
+                            "error" if sys.exc_info()[0] else None)
 
     # -- parallel path -------------------------------------------------------
     @staticmethod
@@ -549,8 +688,26 @@ class JobRunner:
         cache_state = "miss" if self.cache else "off"
         workers = min(self.options.jobs, len(pending))
         timeout = self.options.timeout
+        # Trace propagation across the pool boundary: forked workers
+        # inherit the environment (the same route REPRO_SANITIZE and
+        # REPRO_BACKEND take), so export this run's context before the
+        # pool exists and restore afterwards.  Workers rebuild a tracer
+        # from REPRO_TRACEPARENT, parent their sim spans to the run
+        # span, and append to the shared spans file via O_APPEND.
+        saved_env: Dict[str, Optional[str]] = {}
+        if self._tr is not None:
+            exports = {ENV_PARENT: self._tr.traceparent(self._run_span),
+                       ENV_SAMPLE: "1",
+                       ENV_SPANS: self._spans_path or ""}
+            for name, value in exports.items():
+                saved_env[name] = os.environ.get(name)
+                if value:
+                    os.environ[name] = value
+                else:
+                    os.environ.pop(name, None)
         pool = ProcessPoolExecutor(max_workers=workers)
         aborted = False
+        jspans: Dict[int, Any] = {}
         try:
             futures = {}
             # Seed attempt counts carried in from a resumed run so the
@@ -560,6 +717,10 @@ class JobRunner:
             for index in pending:
                 self._emit(sink, STARTED, jobs[index], keys[index],
                            attempt=attempts[index])
+                if self._tr is not None:
+                    jspans[index] = self._tr.start_span(
+                        "job", parent=self._run_span,
+                        label=jobs[index].label, mode="pool")
                 futures[index] = pool.submit(_timed_call, self.execute,
                                              jobs[index])
             # Collect in submission order; retries resubmit in place.
@@ -612,16 +773,25 @@ class JobRunner:
                             self._abort_pool(pool)
                             self._fail(sink, job, key, attempts[index] + 1,
                                        exc)
+                    jspan = jspans.pop(index, None)
                     if violation is not None:
+                        if jspan is not None:
+                            jspan.set_attr("violation", True)
+                            jspan.set_attr("attempt", attempts[index])
+                            jspan.finish("error")
                         results[index] = self._violation_result(
                             sink, job, key, attempts[index], violation)
                         continue
+                    if jspan is not None:
+                        jspan.set_attr("attempt", attempts[index])
+                        jspan.finish()
                     self._store(job, result)
                     results[index] = result
                     self._emit(sink, FINISHED, job, key,
                                attempt=attempts[index], wall=wall,
                                cache=cache_state,
-                               **self._trace_extra(job))
+                               **self._trace_extra(job),
+                               **({"span": jspan.span_id} if jspan else {}))
             except BrokenProcessPool as exc:
                 # A worker died hard (OOM kill, crashed interpreter): the
                 # pool and every in-flight future are poisoned.  Tear the
@@ -632,18 +802,33 @@ class JobRunner:
                 self._emit(sink, POOL_BROKEN, job, key,
                            attempt=attempts.get(index, 0),
                            error=f"{type(exc).__name__}: {exc}")
+                self._maybe_flight_dump("pool_broken")
                 self._abort_pool(pool)
+                # Close the dead pool's dispatch spans; the fallback
+                # re-runs get fresh spans (mode="serial_fallback") under
+                # the same run span, so the tree stays connected.
+                for orphan in jspans.values():
+                    orphan.set_attr("pool_broken", True)
+                    orphan.finish("error")
+                jspans.clear()
                 unfinished = [i for i in pending if results[i] is None]
                 self._run_serial(jobs, keys, unfinished, results, sink,
-                                 attempts=attempts)
+                                 attempts=attempts,
+                                 span_mode="serial_fallback")
         finally:
             if not aborted:
                 pool.shutdown(wait=True, cancel_futures=True)
+            for name, value in saved_env.items():
+                if value is None:
+                    os.environ.pop(name, None)
+                else:
+                    os.environ[name] = value
 
     # -- graceful drain ------------------------------------------------------
     def _drain_indices(self, jobs, keys, indices, results, sink,
                        attempts: Optional[Dict[int, int]] = None) -> None:
         """Mark every unfinished job in *indices* as drained."""
+        self._maybe_flight_dump("drain")
         for index in indices:
             if results[index] is not None:
                 continue
@@ -655,6 +840,7 @@ class JobRunner:
                     results, sink, cache_state) -> None:
         """Drain the parallel path: wait for in-flight futures, cancel the
         queued ones, harvest whatever completed, mark the rest drained."""
+        self._maybe_flight_dump("drain")
         pool.shutdown(wait=True, cancel_futures=True)
         for index in pending:
             if results[index] is not None:
@@ -694,6 +880,7 @@ class JobRunner:
         self._emit(sink, FAILED, job, key, attempt=attempt,
                    error=f"{type(exc).__name__}: {exc}",
                    violation=exc.to_dict())
+        self._maybe_flight_dump("invariant_violation")
         return {"status": "invariant_violation", "job": job.to_dict(),
                 "violation": exc.to_dict()}
 

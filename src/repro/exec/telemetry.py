@@ -108,6 +108,10 @@ class JobEvent:
     #: attached) records "interp", which is how vec-fallback visibility is
     #: tested.  None on cache hits and non-bar jobs.
     backend: Optional[str] = None
+    #: repro.trace span id of this job's span, when the run is sampled
+    #: (``--trace-sample`` / REPRO_TRACE_SAMPLE) — joins the telemetry
+    #: stream to the run's ``spans.jsonl``.  None when tracing is off.
+    span: Optional[str] = None
 
     def to_json(self) -> str:
         data = {k: v for k, v in asdict(self).items() if v is not None}

@@ -21,6 +21,7 @@ Usage::
     python -m repro.harness resume RUN_ID [--jobs N] [--backend B]
     python -m repro.harness apps {miss_profile,prefetch_schedule,bypass,all}
     python -m repro.harness explain (TRACE.events.jsonl | RUN_ID) [--json]
+    python -m repro.harness spans (SPANS.jsonl | RUN_ID) [--check] [--json]
     python -m repro.harness bench replacement [--explain DIR]
 
 ``profile`` wraps any other invocation in cProfile and prints the top-N
@@ -80,6 +81,14 @@ continues it exactly where it died — journal-completed cells replay from
 the result cache (never re-simulated), incomplete cells re-run with
 their attempt counts carried over, and the resumed figure is digit-exact
 with an uninterrupted run.
+
+Request tracing (see :mod:`repro.trace`): ``--trace-sample RATE`` sets
+``REPRO_TRACE_SAMPLE`` so a sampled engine run (and its forked pool
+workers) records a span tree — run, per-job, decode, replay, export —
+next to the run manifest as ``spans.jsonl``; results stay digit-exact.
+Analyze it afterwards with ``python -m repro.harness spans <run_id>``:
+span tree, critical path, per-name self time, p99 anomalies and a
+manifest wall cross-check (``--check`` makes it a CI assertion).
 
 ``--trace-events DIR`` turns on the observability layer
 (:mod:`repro.obs`) the same way — it sets ``REPRO_OBS=1`` and
@@ -244,6 +253,12 @@ def main(argv=None) -> int:
                               help="run with the runtime invariant "
                                    "sanitizer (repro.sanitize) attached "
                                    "to every simulated cell")
+    engine_group.add_argument("--trace-sample", type=float, default=None,
+                              metavar="RATE",
+                              help="repro.trace sampling rate in [0,1]: "
+                                   "a sampled run writes a spans.jsonl "
+                                   "span tree next to its manifest "
+                                   "(default REPRO_TRACE_SAMPLE, then 0)")
     engine_group.add_argument("--trace-events", default=None, metavar="DIR",
                               help="attach the repro.obs observer to every "
                                    "simulated cell and write per-cell "
@@ -270,6 +285,13 @@ def main(argv=None) -> int:
         # Same environment route: the backend is an execution detail
         # (results are digit-exact), never part of a job's cache key.
         os.environ["REPRO_BACKEND"] = args.backend
+    if args.trace_sample is not None:
+        # Environment route like --sanitize: the engine reads it when
+        # ExecOptions.trace_sample is unset, and forked pool workers
+        # inherit the run's sampling decision with it.
+        if not 0.0 <= args.trace_sample <= 1.0:
+            parser.error("--trace-sample must be in [0, 1]")
+        os.environ["REPRO_TRACE_SAMPLE"] = repr(args.trace_sample)
     if args.trace_events:
         # Same environment route as --sanitize, so --jobs N traces every
         # worker; REPRO_OBS_DIR alone implies REPRO_OBS.
@@ -440,7 +462,8 @@ def profile_main(argv) -> int:
 
 def dispatch(argv=None) -> int:
     """Route ``profile``/``report``/``compare``/``watch``/``apps``/
-    ``explain``/``bench`` to their wrappers, the rest to :func:`main`."""
+    ``explain``/``spans``/``bench`` to their wrappers, the rest to
+    :func:`main`."""
     argv = sys.argv[1:] if argv is None else list(argv)
     if argv and argv[0] == "profile":
         return profile_main(argv[1:])
@@ -459,6 +482,9 @@ def dispatch(argv=None) -> int:
     if argv and argv[0] == "explain":
         from repro.harness.explain import explain_main
         return explain_main(argv[1:])
+    if argv and argv[0] == "spans":
+        from repro.harness.spans_cli import spans_main
+        return spans_main(argv[1:])
     if argv and argv[0] == "bench":
         from repro.harness.replacement import bench_main
         return bench_main(argv[1:])

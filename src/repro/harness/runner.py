@@ -160,8 +160,14 @@ def run_bar(
     from repro.memory import derive_seed
     from repro.obs import Observer, maybe_observer, obs_trace_dir
     from repro.sanitize import maybe_sanitizer
+    from repro.trace import ambient
     from repro.vec import resolve_backend, vec_supports
 
+    # repro.trace: nest decode/replay spans under the ambient job span
+    # when this cell's run is sampled.  tracer is None on the untraced
+    # path — every guard below is a single identity test, preserving the
+    # hot-path numbers the perf gate pins.
+    tracer, parent_span = ambient()
     san = maybe_sanitizer(sanitize)
     if isinstance(observe, Observer):
         obs: Optional[Observer] = observe
@@ -171,8 +177,14 @@ def run_bar(
             and vec_supports(bar, policy)):
         from repro.vec import run_bar_vec
 
-        return run_bar_vec(benchmark, machine_key, bar, instructions,
-                           warmup, seed=seed, policy=policy)
+        if tracer is None:
+            return run_bar_vec(benchmark, machine_key, bar, instructions,
+                               warmup, seed=seed, policy=policy)
+        with tracer.span("replay", parent=parent_span, backend="vec",
+                         benchmark=benchmark, machine=machine_key,
+                         label=bar.label):
+            return run_bar_vec(benchmark, machine_key, bar, instructions,
+                               warmup, seed=seed, policy=policy)
     spec = MACHINES[machine_key]
     core = build_core(spec, informing=bar.informing,
                       replacement_policy=policy,
@@ -181,6 +193,9 @@ def run_bar(
         san.attach(core)
     if obs is not None:
         obs.attach(core)
+    decode_span = (tracer.start_span("stream.decode", parent=parent_span,
+                                     benchmark=benchmark)
+                   if tracer is not None else None)
     workload = spec92_workload(benchmark, seed_offset=seed)
     # Generous stream bound: instrumentation and replay never exhaust it.
     stream = workload.stream(8 * (instructions + warmup) + 100_000)
@@ -188,14 +203,36 @@ def run_bar(
         stream = add_mhar_sets(stream)
     elif bar.per_ref_instrumentation == "cc":
         stream = add_cc_checks(stream)
+    if decode_span is not None:
+        decode_span.finish()
+    replay_span = (tracer.start_span("replay", parent=parent_span,
+                                     backend="interp", benchmark=benchmark,
+                                     machine=machine_key, label=bar.label,
+                                     warmup=warmup, instructions=instructions)
+                   if tracer is not None else None)
     stats = core.run(stream, max_app_insts=instructions + warmup,
                      warmup_insts=warmup)
+    if replay_span is not None:
+        replay_span.set_attr("cycles", stats.cycles)
+        replay_span.finish()
     if obs is not None:
         directory = trace_dir or obs_trace_dir()
         if directory:
             from repro.obs import write_run_artifacts
+
+            if tracer is not None and parent_span is not None and obs.events:
+                # Join the obs event stream to the trace: every cycle-
+                # stamped event carries the job span it happened under.
+                span_id = parent_span.span_id
+                for event in obs.events:
+                    event["span"] = span_id
+            export_span = (tracer.start_span("obs.export",
+                                             parent=parent_span)
+                           if tracer is not None else None)
             write_run_artifacts(
                 obs, directory, f"{benchmark}_{machine_key}_{bar.label}")
+            if export_span is not None:
+                export_span.finish()
     breakdown = stats.breakdown()
     return BarResult(
         benchmark=benchmark,

@@ -11,13 +11,20 @@ what ``tests/test_obs_report.py`` asserts.
 Usage::
 
     python -m repro.harness report --trace-file traces/compress_ooo_S10.events.jsonl
+    python -m repro.harness report <run_id> [--cell SUBSTR]
     python -m repro.harness report --benchmark compress --machine ooo \
         --label S10 --quick
+
+The bare-argument form mirrors ``harness explain``: a run id (or
+manifest path) from a ``--trace-events DIR`` run resolves through its
+manifest and reports every cell that recorded a trace, ``--cell``
+narrowing by label substring.
 """
 
 from __future__ import annotations
 
 import argparse
+import sys
 from typing import Any, Dict, List, Optional
 
 from repro.obs import events as ev
@@ -200,8 +207,19 @@ def report_main(argv=None) -> int:
         prog="python -m repro.harness report",
         description="Render a per-benchmark observability report from a "
                     "trace file or a live single-cell run.")
+    parser.add_argument("ref", nargs="?", default=None,
+                        metavar="TRACE_OR_RUN_ID",
+                        help="an *.events.jsonl trace file, or a run id / "
+                             "manifest path from a --trace-events run "
+                             "(same resolution as 'harness explain')")
     parser.add_argument("--trace-file", default=None, metavar="PATH",
                         help="render from an existing *.events.jsonl trace")
+    parser.add_argument("--cell", default=None, metavar="SUBSTR",
+                        help="run-id mode: only cells whose label "
+                             "contains SUBSTR")
+    parser.add_argument("--manifest-dir", default=None, metavar="DIR",
+                        help="run-id mode: manifest root (default "
+                             "results/runs or REPRO_RUNS_DIR)")
     parser.add_argument("--benchmark", default=None,
                         help="live mode: SPEC92 benchmark name")
     parser.add_argument("--machine", default=None,
@@ -216,23 +234,43 @@ def report_main(argv=None) -> int:
                         help="live mode: workload seed offset")
     parser.add_argument("--chrome", default=None, metavar="PATH",
                         help="also write the events as a Chrome "
-                             "trace_event JSON file")
+                             "trace_event JSON file (run-id mode: the "
+                             "last reported cell)")
     args = parser.parse_args(argv)
 
-    if args.trace_file:
+    sources: List[Any] = []
+    result = None
+    if args.ref:
+        # Bare-argument form: a trace file or a run id, resolved the
+        # same way `harness explain` resolves its input.
+        from repro.harness.explain import _load_trace, _resolve_traces
+        pairs, error = _resolve_traces(args.ref, args.manifest_dir,
+                                       args.cell)
+        if error:
+            print(f"report: {error}", file=sys.stderr)
+            return 2
+        for title, path in pairs:
+            events, error = _load_trace(path)
+            if events is None:
+                print(f"report: {error}", file=sys.stderr)
+                return 2
+            sources.append((title, events))
+    elif args.trace_file:
         from repro.obs.export import read_jsonl
-        events = read_jsonl(args.trace_file)
-        title = args.trace_file
-        result = None
+        sources.append((args.trace_file, read_jsonl(args.trace_file)))
     elif args.benchmark and args.machine:
         observer, result = _live_events(args)
-        events = observer.events
-        title = f"{args.benchmark}/{args.machine}/{args.label} (live)"
+        sources.append(
+            (f"{args.benchmark}/{args.machine}/{args.label} (live)",
+             observer.events))
     else:
-        parser.error("pass --trace-file PATH, or --benchmark and "
-                     "--machine for a live run")
+        parser.error("pass --trace-file PATH, a trace-file/run-id "
+                     "argument, or --benchmark and --machine for a "
+                     "live run")
 
-    print(render_report(summarize(events), title))
+    print("\n\n".join(render_report(summarize(events), title)
+                      for title, events in sources))
+    events = sources[-1][1]
     if result is not None:
         print(f"\nsimulator cross-check: {result.cycles} cycles, "
               f"l1_miss_rate {result.l1_miss_rate:.4f}, "

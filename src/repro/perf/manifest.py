@@ -177,6 +177,7 @@ def build_manifest(jobs: Sequence,
         "cache_enabled": runner.cache is not None,
         "telemetry_path": runner.options.trace_path,
         "journal_path": getattr(runner, "last_journal", None),
+        "spans_path": getattr(runner, "last_spans", None),
         "resumed_from": meta.get("resumed_from"),
         "status": ("failed" if error is not None else
                    "drained" if getattr(runner, "draining", False) else "ok"),

@@ -31,6 +31,7 @@ from repro.exec.telemetry import (
     FINISHED,
     POOL_BROKEN,
     QUEUED,
+    REPLAYED,
     RETRIED,
     RUN_HEADER,
     STARTED,
@@ -43,6 +44,7 @@ ST_RUNNING = "running"
 ST_DONE = "done"
 ST_FAILED = "failed"
 ST_CACHED = "cached"
+ST_REPLAYED = "replayed"
 ST_DRAINED = "drained"
 
 
@@ -132,9 +134,17 @@ class TelemetryFollower:
             job["attempts"] = max(job["attempts"], record.get("attempt", 0))
         elif kind == CACHE_HIT:
             job["state"] = ST_CACHED
+        elif kind == REPLAYED:
+            job["state"] = ST_REPLAYED
         elif kind == FINISHED:
-            if job["state"] != ST_CACHED:
-                job["state"] = ST_DONE
+            if job["state"] not in (ST_CACHED, ST_REPLAYED):
+                # A resumed run's journal replays also carry
+                # cache="replay" on FINISHED (wall 0) in case the
+                # REPLAYED record itself was lost to a torn tail.
+                if record.get("cache") == "replay":
+                    job["state"] = ST_REPLAYED
+                else:
+                    job["state"] = ST_DONE
             job["wall"] = record.get("wall")
             self.last_label = job["label"]
         elif kind == FAILED:
@@ -165,16 +175,22 @@ class TelemetryFollower:
         if not self.jobs or len(self.jobs) < self.total:
             return False
         return all(job["state"] in (ST_DONE, ST_FAILED, ST_CACHED,
-                                    ST_DRAINED)
+                                    ST_REPLAYED, ST_DRAINED)
                    for job in self.jobs.values())
 
     def snapshot(self) -> Dict[str, Any]:
         """The panel's numbers, derived purely from stream timestamps."""
         done = self._count(ST_DONE)
         cached = self._count(ST_CACHED)
+        replayed = self._count(ST_REPLAYED)
         failed = self._count(ST_FAILED)
         running = self._count(ST_RUNNING)
-        finished = done + cached
+        # Journal replays (resumed runs) count as finished work for
+        # progress and ETA — they will never run again — but are kept
+        # out of the throughput numerator: their wall is 0, and folding
+        # them in would claim a resumed grid simulates faster than it
+        # does.
+        finished = done + cached + replayed
         lookups = len(self.jobs)
         walls = [job["wall"] for job in self.jobs.values()
                  if job["state"] == ST_DONE and job["wall"]]
@@ -185,7 +201,7 @@ class TelemetryFollower:
         mean_wall = sum(walls) / len(walls) if walls else 0.0
         remaining = max(self.total - finished - failed, 0)
         eta = (remaining * mean_wall / workers) if mean_wall else None
-        throughput = ((finished + failed) / elapsed) if elapsed > 0 else None
+        throughput = ((done + cached + failed) / elapsed) if elapsed > 0 else None
         utilization = (min(sum(walls) / (elapsed * workers), 1.0)
                        if elapsed > 0 and walls else None)
         return {
@@ -198,6 +214,7 @@ class TelemetryFollower:
             "running": running,
             "done": done,
             "cached": cached,
+            "replayed": replayed,
             "failed": failed,
             "drained": self._count(ST_DRAINED),
             "retries": self.retries,
@@ -219,10 +236,12 @@ class TelemetryFollower:
     def status_line(self) -> str:
         """One-line live view (the ``--follow`` refresh)."""
         snap = self.snapshot()
-        finished = snap["done"] + snap["cached"]
+        finished = snap["done"] + snap["cached"] + snap["replayed"]
         bits = [f"[{finished + snap['failed']}/{snap['total']}]",
                 f"run {snap['running']}",
                 f"hit {snap['cached']}"]
+        if snap["replayed"]:
+            bits.append(f"replay {snap['replayed']}")
         if snap["failed"]:
             bits.append(f"FAILED {snap['failed']}")
         if snap["throughput"] is not None:
@@ -247,13 +266,15 @@ class TelemetryFollower:
         if snap["corrupt_lines"]:
             head.append(f"  note: skipped {snap['corrupt_lines']} "
                         f"corrupt line(s)")
-        finished = snap["done"] + snap["cached"]
+        finished = snap["done"] + snap["cached"] + snap["replayed"]
         head.append(
             f"  state       {finished} finished "
             f"({snap['cached']} cache hits, "
             f"{100.0 * snap['cache_hit_ratio']:.0f}% hit ratio), "
             f"{snap['failed']} failed, {snap['running']} running, "
             f"{snap['queued']} queued"
+            + (f", {snap['replayed']} journal-replayed"
+               if snap["replayed"] else "")
             + (f", {snap['drained']} drained" if snap["drained"] else ""))
         if snap["retries"] or snap["pool_breaks"]:
             head.append(f"  recoveries  {snap['retries']} retries, "

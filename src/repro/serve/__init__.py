@@ -17,7 +17,7 @@ run-manifest config digest proves the equivalence.
 blocking client used by the tests, the bench and the CI smoke job.
 """
 
-from repro.serve.client import ServeClient
+from repro.serve.client import ServeClient, mint_traceparent
 from repro.serve.gateway import (
     Draining,
     Gateway,
@@ -46,5 +46,6 @@ __all__ = [
     "SpecError",
     "TokenBucket",
     "job_to_spec",
+    "mint_traceparent",
     "validate_job_spec",
 ]

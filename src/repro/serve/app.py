@@ -20,6 +20,7 @@ lines, then a terminal ``result`` or ``error`` event.
 from __future__ import annotations
 
 import asyncio
+import os
 import sys
 from typing import Any, Dict, Optional, Tuple
 
@@ -166,7 +167,9 @@ class App:
     async def handle_job(self, request: Request, writer) -> bool:
         payload = request.json()
         try:
-            outcome = await self.gateway.submit(payload, request.tenant)
+            outcome = await self.gateway.submit(
+                payload, request.tenant,
+                traceparent=request.headers.get("traceparent"))
         except (SpecError, RateLimited, QueueFull, Draining,
                 JobError) as exc:
             status, body = error_payload(exc)
@@ -187,7 +190,9 @@ class App:
         payload = request.json()
         events: asyncio.Queue = asyncio.Queue()
         task = asyncio.ensure_future(
-            self.gateway.submit(payload, request.tenant, subscriber=events))
+            self.gateway.submit(
+                payload, request.tenant, subscriber=events,
+                traceparent=request.headers.get("traceparent")))
         first = asyncio.ensure_future(events.get())
         await asyncio.wait({task, first},
                            return_when=asyncio.FIRST_COMPLETED)
@@ -286,7 +291,8 @@ class App:
         return request.keep_alive
 
     def handle_run(self, request: Request, writer, run_id: str) -> bool:
-        from repro.perf.manifest import ManifestError, load_manifest
+        from repro.perf.manifest import (ManifestError, load_manifest,
+                                         runs_root)
 
         root = self.gateway.options.manifest_dir
         if root is None:
@@ -301,5 +307,11 @@ class App:
                                         "message": str(exc)},
                           keep_alive=request.keep_alive)
             return request.keep_alive
+        # Link the run's span artifact even when the gateway appended
+        # its spans after the manifest was written (traced requests).
+        if not manifest.get("spans_path"):
+            spans = os.path.join(runs_root(root), run_id, "spans.jsonl")
+            if os.path.isfile(spans):
+                manifest["spans_path"] = spans
         json_response(writer, 200, manifest, keep_alive=request.keep_alive)
         return request.keep_alive

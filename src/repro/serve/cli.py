@@ -30,6 +30,7 @@ from typing import Optional
 from repro.exec.cache import parse_size
 from repro.serve.app import App
 from repro.serve.gateway import Gateway, ServeOptions
+from repro.trace import trace_sample
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -63,6 +64,18 @@ def build_parser() -> argparse.ArgumentParser:
                              "accepted jobs are journaled before running, "
                              "and a restarted gateway replays the file to "
                              "re-enqueue incomplete ones")
+    parser.add_argument("--trace-sample", type=float, default=None,
+                        metavar="RATE",
+                        help="repro.trace sampling rate in [0,1] for "
+                             "requests without their own traceparent "
+                             "header (default: REPRO_TRACE_SAMPLE, then "
+                             "0 = off); sampled requests write a span "
+                             "tree next to their run manifest")
+    parser.add_argument("--trace-dir", default=None,
+                        help="span destination for traced requests that "
+                             "produce no run directory (cache hits, "
+                             "rejections): <dir>/serve_spans.jsonl "
+                             "(default: --manifest-dir)")
     parser.add_argument("--drain-grace", type=float, default=30.0,
                         help="seconds to wait for in-flight jobs on "
                              "shutdown")
@@ -87,6 +100,8 @@ def options_from_args(args) -> ServeOptions:
         job_timeout=args.job_timeout,
         drain_grace=args.drain_grace,
         journal_path=args.journal,
+        trace_sample=trace_sample(args.trace_sample),
+        trace_dir=args.trace_dir,
     )
 
 

@@ -14,6 +14,19 @@ import random
 import time
 from typing import Any, Dict, Optional, Tuple
 
+from repro.trace import TraceContext, format_traceparent, new_span_id, new_trace_id
+
+
+def mint_traceparent(sampled: bool = True) -> str:
+    """A fresh client-side ``traceparent`` header value.
+
+    Submitting with this makes the request traced end to end (gateway →
+    engine → workers) under the returned header's trace id; pass
+    ``sampled=False`` to assert the unsampled path stays span-free.
+    """
+    return format_traceparent(
+        TraceContext(new_trace_id(), new_span_id(), sampled=sampled))
+
 #: Cap on a single 429 backoff sleep, whatever ``retry_after`` claims.
 MAX_RETRY_WAIT = 5.0
 #: Fallback delay when a 429 body carries no usable ``retry_after``.
@@ -53,12 +66,15 @@ class ServeClient:
         self.close()
 
     def request(self, method: str, path: str,
-                body: Optional[Dict[str, Any]] = None
+                body: Optional[Dict[str, Any]] = None,
+                traceparent: Optional[str] = None
                 ) -> Tuple[int, bytes, Dict[str, str]]:
         """One request/response cycle; reconnects once on a dead socket."""
         headers = {}
         if self.tenant:
             headers["X-Tenant"] = self.tenant
+        if traceparent:
+            headers["traceparent"] = traceparent
         data = None
         if body is not None:
             data = json.dumps(body).encode("utf-8")
@@ -78,14 +94,16 @@ class ServeClient:
         raise AssertionError("unreachable")
 
     def json(self, method: str, path: str,
-             body: Optional[Dict[str, Any]] = None
-             ) -> Tuple[int, Any]:
-        status, payload, _ = self.request(method, path, body)
+             body: Optional[Dict[str, Any]] = None,
+             traceparent: Optional[str] = None) -> Tuple[int, Any]:
+        status, payload, _ = self.request(method, path, body,
+                                          traceparent=traceparent)
         return status, json.loads(payload.decode("utf-8"))
 
     # -- endpoints -----------------------------------------------------------
     def submit(self, spec: Dict[str, Any],
-               retries: int = 0) -> Tuple[int, Any]:
+               retries: int = 0,
+               traceparent: Optional[str] = None) -> Tuple[int, Any]:
         """POST a job spec; returns (status, outcome-or-error body).
 
         With *retries* > 0, a 429 is retried up to that many times,
@@ -95,10 +113,15 @@ class ServeClient:
         :data:`MAX_RETRY_WAIT`).  Any other status — success or error —
         returns immediately; the final 429, if the budget runs out, is
         returned rather than raised.
+
+        *traceparent* (see :func:`mint_traceparent`) propagates a trace
+        context with the submission; retries reuse the same context —
+        one logical request, one trace.
         """
         attempt = 0
         while True:
-            status, body = self.json("POST", "/v1/jobs", spec)
+            status, body = self.json("POST", "/v1/jobs", spec,
+                                     traceparent=traceparent)
             if status != 429 or attempt >= retries:
                 return status, body
             try:

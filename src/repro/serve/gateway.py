@@ -39,6 +39,7 @@ from repro.exec import ExecOptions, JobRunner, ResultCache, SimJob
 from repro.exec.job import execute_job
 from repro.obs.metrics import Registry
 from repro.serve.spec import SpecError, validate_job_spec
+from repro.trace import flight, maybe_tracer, parse_traceparent
 
 
 class RateLimited(Exception):
@@ -114,13 +115,23 @@ class ServeOptions:
     #: killed gateway replays the journal on boot and re-enqueues the
     #: jobs it had accepted but not finished.  None disables.
     journal_path: Optional[str] = None
+    #: repro.trace head-based sampling rate for requests without their
+    #: own ``traceparent`` header ([0, 1]); a request arriving with a
+    #: sampled context is always traced, an unsampled one never.  0.0
+    #: (the default) keeps the request path span-free.
+    trace_sample: float = 0.0
+    #: Fallback span destination for traced requests that never reach a
+    #: run directory (cache hits, rejections): ``<trace_dir>/
+    #: serve_spans.jsonl``.  None falls back to ``manifest_dir``.
+    trace_dir: Optional[str] = None
 
 
 class Ticket:
     """One admitted execution; coalesced requests share it."""
 
     __slots__ = ("job", "key", "future", "subscribers", "events",
-                 "waiters", "created")
+                 "waiters", "created", "tracer", "parent_span",
+                 "queue_span")
 
     def __init__(self, job: SimJob, key: str,
                  future: "asyncio.Future") -> None:
@@ -133,6 +144,12 @@ class Ticket:
         self.events: List[Dict[str, Any]] = []
         self.waiters = 1
         self.created = time.monotonic()
+        #: repro.trace state of the admitting request (None untraced):
+        #: the shard thread finishes ``queue_span`` when it picks the
+        #: ticket up and parents its dispatch span on ``parent_span``.
+        self.tracer = None
+        self.parent_span = None
+        self.queue_span = None
 
 
 class _TicketSink:
@@ -314,6 +331,11 @@ class Gateway:
         than a hang).
         """
         self.draining = True
+        # Crash-path observability: the drain moment is one of the
+        # flight recorder's dump triggers (SIGTERM forensics).
+        directory = self.options.trace_dir or self.options.manifest_dir
+        if directory:
+            flight().dump("serve_drain", directory)
         grace = self.options.drain_grace if grace is None else grace
         deadline = time.monotonic() + grace
         while self.in_flight and time.monotonic() < deadline:
@@ -337,9 +359,35 @@ class Gateway:
         return abandoned
 
     # -- submission ----------------------------------------------------------
+    def _start_trace(self, traceparent: Optional[str], tenant: str):
+        """Head-based sampling decision for one request.
+
+        Returns ``(tracer, root_span)`` — ``(None, None)`` (the common,
+        zero-overhead case) unless the request carried a sampled
+        ``traceparent`` or won the ``trace_sample`` coin toss.  Malformed
+        and foreign contexts are counted, never fatal.
+        """
+        if traceparent:
+            if parse_traceparent(traceparent) is None:
+                self.registry.counter("serve.trace.malformed_context").inc()
+                traceparent = None
+            else:
+                self.registry.counter("serve.trace.foreign_context").inc()
+        tracer = maybe_tracer(self.options.trace_sample, traceparent)
+        if tracer is None:
+            self.registry.counter("serve.trace.unsampled").inc()
+            return None, None
+        self.registry.counter("serve.trace.sampled").inc()
+        root = tracer.start_span("http.request", tenant=tenant)
+        return tracer, root
+
+    def _fallback_spans_path(self) -> Optional[str]:
+        root = self.options.trace_dir or self.options.manifest_dir
+        return os.path.join(root, "serve_spans.jsonl") if root else None
+
     async def submit(self, payload: Any, tenant: str = "anonymous",
-                     subscriber: Optional["asyncio.Queue"] = None
-                     ) -> Dict[str, Any]:
+                     subscriber: Optional["asyncio.Queue"] = None,
+                     traceparent: Optional[str] = None) -> Dict[str, Any]:
         """Validate, admit and execute one job spec; return the outcome.
 
         The outcome dict is ``{"result": <engine result>, "meta": {...}}``
@@ -347,12 +395,22 @@ class Gateway:
         *subscriber*, when given, receives schema-1 telemetry records as
         they happen (and ``None`` as the end-of-stream sentinel).
 
+        *traceparent* is the request's W3C trace context header, if any:
+        a sampled context makes this request traced end to end — gateway
+        spans here, engine and worker spans via
+        :attr:`ExecOptions.trace_parent` — all under one trace id, and
+        the response meta gains ``trace_id`` / ``spans``.
+
         Raises SpecError / RateLimited / QueueFull / Draining / JobError.
         """
         t0 = time.monotonic()
         self.registry.counter("serve.requests").inc()
+        tracer, root = self._start_trace(traceparent, tenant)
+        ok = False
         try:
-            outcome = await self._submit(payload, tenant, subscriber)
+            outcome = await self._submit(payload, tenant, subscriber,
+                                         tracer, root)
+            ok = True
         except SpecError:
             self.registry.counter("serve.rejected.invalid_spec").inc()
             raise
@@ -368,24 +426,53 @@ class Gateway:
         except JobError:
             self.registry.counter("serve.failures").inc()
             raise
+        finally:
+            if tracer is not None:
+                root.finish(None if ok else "error")
+                if not ok and tracer.flush(self._fallback_spans_path()):
+                    self.registry.counter("serve.trace.flushed").inc()
+        if tracer is not None:
+            # The engine wrote its spans next to the run's manifest; the
+            # gateway's spans follow so one file holds the whole tree.
+            meta = dict(outcome.get("meta") or {})
+            meta["trace_id"] = tracer.trace_id
+            meta["spans"] = meta.get("spans") or self._fallback_spans_path()
+            if tracer.flush(meta["spans"]):
+                self.registry.counter("serve.trace.flushed").inc()
+            outcome = {"result": outcome.get("result"), "meta": meta}
         self.registry.histogram("serve.request_latency_ms").record(
             int((time.monotonic() - t0) * 1000))
         return outcome
 
-    async def _submit(self, payload, tenant, subscriber) -> Dict[str, Any]:
+    async def _submit(self, payload, tenant, subscriber,
+                      tracer=None, root=None) -> Dict[str, Any]:
         if self.draining:
             raise Draining("gateway is draining")
         if self.options.rate > 0:
+            admit_span = (tracer.start_span("admission", parent=root)
+                          if tracer is not None else None)
             bucket = self.buckets.get(tenant)
             if bucket is None:
                 bucket = self.buckets[tenant] = TokenBucket(
                     self.options.rate, self.options.burst)
-            if not bucket.try_acquire():
+            acquired = bucket.try_acquire()
+            if admit_span is not None:
+                admit_span.finish(None if acquired else "error")
+            if not acquired:
                 raise RateLimited(tenant, bucket.retry_after())
-        job = validate_job_spec(payload)
+        if tracer is not None:
+            with tracer.span("request.parse", parent=root):
+                job = validate_job_spec(payload)
+        else:
+            job = validate_job_spec(payload)
         key = job.cache_key()
 
+        probe_span = (tracer.start_span("cache.probe", parent=root)
+                      if tracer is not None else None)
         cached = self.cache.get(job)
+        if probe_span is not None:
+            probe_span.set_attr("hit", cached is not None)
+            probe_span.finish()
         if cached is not None:
             self.registry.counter("serve.cache_hits").inc()
             if subscriber is not None:
@@ -403,7 +490,12 @@ class Gateway:
                 for record in ticket.events:  # replay, then follow live
                     subscriber.put_nowait(record)
                 ticket.subscribers.append(subscriber)
-            outcome = await asyncio.shield(ticket.future)
+            if tracer is not None:
+                with tracer.span("coalesce.wait", parent=root,
+                                 key=key[:16]):
+                    outcome = await asyncio.shield(ticket.future)
+            else:
+                outcome = await asyncio.shield(ticket.future)
             return self._coalesced_view(outcome)
 
         if self.queue is None:
@@ -411,6 +503,10 @@ class Gateway:
         ticket = Ticket(job, key, self.loop.create_future())
         if subscriber is not None:
             ticket.subscribers.append(subscriber)
+        if tracer is not None:
+            ticket.tracer = tracer
+            ticket.parent_span = root
+            ticket.queue_span = tracer.start_span("queue.wait", parent=root)
         try:
             self.queue.put_nowait(ticket)
         except asyncio.QueueFull:
@@ -456,6 +552,13 @@ class Gateway:
         manifest) isolated while sharing the gateway's result cache, so
         concurrent shards never fight over scheduler state.
         """
+        tracer = ticket.tracer
+        if ticket.queue_span is not None:
+            ticket.queue_span.finish()
+        dispatch_span = (tracer.start_span("dispatch",
+                                           parent=ticket.parent_span,
+                                           shard=shard)
+                         if tracer is not None else None)
         options = ExecOptions(
             jobs=1,
             timeout=self.options.job_timeout,
@@ -464,6 +567,12 @@ class Gateway:
             # The gateway's own journal covers served jobs; a per-request
             # engine journal would just double the fsync traffic.
             journal=False,
+            # Traced requests hand their context across the engine
+            # boundary; untraced ones pin sampling to 0 so a stray
+            # REPRO_TRACE_SAMPLE cannot trace half a request.
+            trace_sample=0.0,
+            trace_parent=(tracer.traceparent(dispatch_span)
+                          if tracer is not None else None),
             run_meta={"experiment": "serve",
                       "argv": ["serve", ticket.job.label],
                       "seed": ticket.job.seed})
@@ -471,7 +580,11 @@ class Gateway:
         runner = JobRunner(options, execute=self.execute, sinks=[sink],
                            cache=self.cache)
         t0 = time.monotonic()
-        result = runner.run([ticket.job])[0]
+        try:
+            result = runner.run([ticket.job])[0]
+        finally:
+            if dispatch_span is not None:
+                dispatch_span.finish()
         wall = time.monotonic() - t0
         self.registry.counter("serve.executed").inc()
         self.registry.histogram("serve.job_wall_ms").record(
@@ -482,6 +595,7 @@ class Gateway:
                          "shard": shard,
                          "run_id": run_id_of(runner.last_manifest),
                          "manifest": runner.last_manifest,
+                         "spans": runner.last_spans,
                          "wall": round(wall, 6)}}
 
     # -- completion / streaming ----------------------------------------------
@@ -512,6 +626,19 @@ class Gateway:
 
     # -- introspection -------------------------------------------------------
     def health(self) -> Dict[str, Any]:
+        """Liveness plus identity: what build and which subsystems this
+        gateway is actually running, so smoke jobs can assert what they
+        are testing instead of inferring it (git sha, every on-disk
+        schema version, and the enabled observability/durability
+        subsystems)."""
+        from repro.durable.journal import JOURNAL_SCHEMA
+        from repro.exec.job import SCHEMA_VERSION
+        from repro.exec.telemetry import TELEMETRY_SCHEMA, git_sha
+        from repro.obs import obs_enabled
+        from repro.perf.manifest import MANIFEST_SCHEMA
+        from repro.sanitize import sanitize_enabled
+        from repro.trace import SPAN_SCHEMA
+
         return {
             "status": "draining" if self.draining else "ok",
             "uptime_seconds": round(time.time() - self.started_at, 3),
@@ -519,6 +646,20 @@ class Gateway:
             "queue_depth": self.queue.qsize() if self.queue else 0,
             "queue_limit": self.options.queue_limit,
             "in_flight": len(self.in_flight),
+            "git_sha": git_sha(),
+            "schemas": {
+                "job": SCHEMA_VERSION,
+                "telemetry": TELEMETRY_SCHEMA,
+                "manifest": MANIFEST_SCHEMA,
+                "journal": JOURNAL_SCHEMA,
+                "spans": SPAN_SCHEMA,
+            },
+            "subsystems": {
+                "obs": obs_enabled(),
+                "sanitize": sanitize_enabled(),
+                "trace": self.options.trace_sample > 0.0,
+                "durable": self.journal is not None,
+            },
         }
 
     def stats(self) -> Dict[str, Any]:
@@ -528,6 +669,10 @@ class Gateway:
             "cache": self.cache.describe(),
             "tenants": len(self.buckets),
             "durability": self.durability(),
+            "trace": {
+                "sample": self.options.trace_sample,
+                "flight": flight().stats(),
+            },
         }
 
     def durability(self) -> Dict[str, Any]:

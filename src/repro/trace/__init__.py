@@ -1,0 +1,209 @@
+"""repro.trace — end-to-end span tracing for one logical request.
+
+Follows the zero-cost-when-off pattern established by ``repro.sanitize``
+and ``repro.obs``: tracing is enabled per-run by a sampling rate
+(``--trace-sample`` / ``REPRO_TRACE_SAMPLE``, default 0.0) and every
+instrumentation site guards with ``if tracer is not None`` (or the
+equivalent ambient check), so the disabled path costs one attribute
+test.
+
+Propagation:
+
+* **HTTP** — the W3C ``traceparent`` header carries the context from
+  ``repro.serve``'s client through the gateway (see
+  :mod:`repro.trace.context`).
+* **Process pool** — the exec engine exports ``REPRO_TRACEPARENT`` /
+  ``REPRO_TRACE_SPANS`` before creating the pool, and workers rebuild
+  a tracer from the environment on first traced job
+  (:func:`job_trace_span`), appending to the same ``spans.jsonl`` via
+  atomic ``O_APPEND`` writes.
+* **In-process** — a thread-local *ambient* (tracer, current span)
+  lets deep code (``run_bar``, obs stamping) attach spans without
+  threading tracer arguments through every call.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+from typing import Any, Iterator, Optional, Tuple
+
+from .context import (
+    TraceContext,
+    format_traceparent,
+    new_span_id,
+    new_trace_id,
+    parse_traceparent,
+)
+from .flight import ENV_FLIGHT_DIR, FlightRecorder, flight
+from .span import SPAN_SCHEMA, Span, Tracer
+
+ENV_SAMPLE = "REPRO_TRACE_SAMPLE"
+ENV_PARENT = "REPRO_TRACEPARENT"
+ENV_SPANS = "REPRO_TRACE_SPANS"
+
+__all__ = [
+    "ENV_SAMPLE",
+    "ENV_PARENT",
+    "ENV_SPANS",
+    "ENV_FLIGHT_DIR",
+    "SPAN_SCHEMA",
+    "Span",
+    "Tracer",
+    "TraceContext",
+    "FlightRecorder",
+    "flight",
+    "new_trace_id",
+    "new_span_id",
+    "parse_traceparent",
+    "format_traceparent",
+    "trace_sample",
+    "maybe_tracer",
+    "set_ambient",
+    "clear_ambient",
+    "ambient",
+    "ambient_span",
+    "job_trace_span",
+]
+
+
+def trace_sample(explicit: Optional[float] = None) -> float:
+    """Effective sampling rate in [0, 1]; malformed env values mean off."""
+    if explicit is not None:
+        rate = explicit
+    else:
+        raw = os.environ.get(ENV_SAMPLE, "")
+        if not raw:
+            return 0.0
+        try:
+            rate = float(raw)
+        except ValueError:
+            return 0.0
+    return min(1.0, max(0.0, rate))
+
+
+def maybe_tracer(
+    sample: Optional[float] = None,
+    parent: Optional[str] = None,
+) -> Optional[Tracer]:
+    """A Tracer if this run is sampled, else None.
+
+    Head-based sampling: when *parent* (a ``traceparent`` header or the
+    ``REPRO_TRACEPARENT`` env value) carries a valid context, its
+    sampled flag is the decision — sampled parents are continued,
+    unsampled parents disable tracing regardless of the local rate.
+    Without a parent, a coin weighted by the sampling rate decides.
+    """
+    if parent is None:
+        parent = os.environ.get(ENV_PARENT)
+    ctx = parse_traceparent(parent)
+    if ctx is not None:
+        if not ctx.sampled:
+            return None
+        return Tracer(ctx)
+    rate = trace_sample(sample)
+    if rate <= 0.0:
+        return None
+    if rate < 1.0 and random.random() >= rate:
+        return None
+    return Tracer()
+
+
+# --------------------------------------------------------------------------
+# Ambient (thread-local) trace state.
+
+_AMBIENT = threading.local()
+
+
+def set_ambient(tracer: Optional[Tracer], span: Optional[Span]) -> None:
+    _AMBIENT.tracer = tracer
+    _AMBIENT.span = span
+
+
+def clear_ambient() -> None:
+    _AMBIENT.tracer = None
+    _AMBIENT.span = None
+
+
+def ambient() -> Tuple[Optional[Tracer], Optional[Span]]:
+    return getattr(_AMBIENT, "tracer", None), getattr(_AMBIENT, "span", None)
+
+
+def ambient_span() -> Optional[Span]:
+    return getattr(_AMBIENT, "span", None)
+
+
+# --------------------------------------------------------------------------
+# Worker-side instrumentation.
+
+_WORKER_LOCK = threading.Lock()
+_WORKER_TRACER: Optional[Tracer] = None
+_WORKER_PARENT: Optional[str] = None
+
+
+def _worker_tracer() -> Optional[Tracer]:
+    """Tracer rebuilt from the environment inside a pool worker.
+
+    Cached per (process, REPRO_TRACEPARENT value): the engine exports a
+    fresh parent per run, so a long-lived worker reused across runs
+    re-keys correctly.  Returns None when the env carries no sampled
+    context — the common (untraced) case costs one dict lookup.
+    """
+    global _WORKER_TRACER, _WORKER_PARENT
+    parent = os.environ.get(ENV_PARENT)
+    if not parent:
+        return None
+    with _WORKER_LOCK:
+        if _WORKER_PARENT != parent:
+            _WORKER_PARENT = parent
+            _WORKER_TRACER = maybe_tracer(parent=parent)
+        return _WORKER_TRACER
+
+
+class _JobSpanScope:
+    """Context manager wrapping one job execution in a span.
+
+    Chooses the ambient tracer when present (serial path / serve
+    shard), else a worker tracer derived from the environment (pool
+    path).  Worker-owned spans are flushed to ``REPRO_TRACE_SPANS``
+    after every job so a killed worker loses at most the in-flight job.
+    """
+
+    __slots__ = ("_tracer", "_span", "_owns_ambient", "_worker_owned", "_saved")
+
+    def __init__(self, name: str, **attrs: Any) -> None:
+        tracer, parent = ambient()
+        self._worker_owned = False
+        self._saved: Tuple[Optional[Tracer], Optional[Span]] = (None, None)
+        if tracer is None:
+            tracer = _worker_tracer()
+            self._worker_owned = tracer is not None
+            parent = None
+        self._tracer = tracer
+        if tracer is None:
+            self._span = None
+            self._owns_ambient = False
+            return
+        self._span = tracer.start_span(name, parent=parent, **attrs)
+        self._owns_ambient = True
+
+    def __enter__(self) -> Optional[Span]:
+        if self._span is not None and self._owns_ambient:
+            self._saved = ambient()
+            set_ambient(self._tracer, self._span)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._span is None:
+            return
+        if self._owns_ambient:
+            set_ambient(*self._saved)
+        self._span.finish("error" if exc_type is not None else None)
+        if self._worker_owned and self._tracer is not None:
+            self._tracer.flush(os.environ.get(ENV_SPANS))
+
+
+def job_trace_span(name: str, **attrs: Any) -> _JobSpanScope:
+    """Span around one simulator job; yields None when tracing is off."""
+    return _JobSpanScope(name, **attrs)

@@ -1,0 +1,90 @@
+"""W3C-traceparent-style trace context.
+
+A :class:`TraceContext` is the unit of propagation: a 128-bit trace id
+shared by every span in one logical request, the span id of the caller
+(so the receiving side can parent correctly), and the head-based
+sampling decision.  The wire format is the W3C ``traceparent`` header::
+
+    00-<32 hex trace id>-<16 hex span id>-<2 hex flags>
+
+Parsing is deliberately tolerant: a malformed or foreign header yields
+``None`` rather than an error, so a bad client can never break a
+request (ISSUE satellite: malformed/foreign traceparent tolerated).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Optional
+
+TRACEPARENT_VERSION = "00"
+
+__all__ = [
+    "TraceContext",
+    "new_trace_id",
+    "new_span_id",
+    "parse_traceparent",
+    "format_traceparent",
+]
+
+
+def new_trace_id() -> str:
+    """A fresh 128-bit trace id as 32 lowercase hex chars."""
+    return os.urandom(16).hex()
+
+
+def new_span_id() -> str:
+    """A fresh 64-bit span id as 16 lowercase hex chars."""
+    return os.urandom(8).hex()
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Immutable propagation context: who we are inside which trace."""
+
+    trace_id: str
+    span_id: str
+    sampled: bool = True
+
+    def child(self) -> "TraceContext":
+        """A context for a new span under this one (same trace)."""
+        return TraceContext(self.trace_id, new_span_id(), self.sampled)
+
+
+def _is_hex(value: str) -> bool:
+    try:
+        int(value, 16)
+    except ValueError:
+        return False
+    return True
+
+
+def parse_traceparent(header: Optional[str]) -> Optional[TraceContext]:
+    """Parse a ``traceparent`` header; return None for anything malformed.
+
+    Accepts any version byte (future-proof per the W3C spec) but
+    rejects wrong field counts, wrong lengths, non-hex fields, and the
+    all-zero trace/span ids the spec declares invalid.
+    """
+    if not header or not isinstance(header, str):
+        return None
+    parts = header.strip().split("-")
+    if len(parts) != 4:
+        return None
+    version, trace_id, span_id, flags = parts
+    if len(version) != 2 or not _is_hex(version) or version == "ff":
+        return None
+    if len(trace_id) != 32 or not _is_hex(trace_id) or set(trace_id) == {"0"}:
+        return None
+    if len(span_id) != 16 or not _is_hex(span_id) or set(span_id) == {"0"}:
+        return None
+    if len(flags) != 2 or not _is_hex(flags):
+        return None
+    sampled = bool(int(flags, 16) & 0x01)
+    return TraceContext(trace_id.lower(), span_id.lower(), sampled)
+
+
+def format_traceparent(ctx: TraceContext) -> str:
+    flags = "01" if ctx.sampled else "00"
+    return f"{TRACEPARENT_VERSION}-{ctx.trace_id}-{ctx.span_id}-{flags}"

@@ -120,6 +120,74 @@ class TestReplay:
         assert snap["cache_hit_ratio"] == 1.0
 
 
+class TestJournalReplays:
+    """Resumed runs replay finished cells from the journal in zero wall
+    time; the panel must count them as progress without letting their
+    wall=0 records skew throughput or the ETA."""
+
+    REPLAY_EVENTS = [
+        {"event": "queued", "key": "k1", "label": "a/m/L",
+         "timestamp": 10.0},
+        {"event": "queued", "key": "k2", "label": "b/m/L",
+         "timestamp": 10.0},
+        {"event": "replayed", "key": "k1", "label": "a/m/L",
+         "timestamp": 10.0},
+        {"event": "finished", "key": "k1", "label": "a/m/L",
+         "timestamp": 10.0, "wall": 0.0, "cache": "replay"},
+        {"event": "started", "key": "k2", "label": "b/m/L",
+         "timestamp": 10.1, "attempt": 1},
+        {"event": "finished", "key": "k2", "label": "b/m/L",
+         "timestamp": 12.1, "wall": 2.0, "cache": "miss"},
+    ]
+
+    def test_replays_count_as_progress_not_throughput(self):
+        follower = TelemetryFollower()
+        follower.feed_text(synthetic_stream(self.REPLAY_EVENTS))
+        snap = follower.snapshot()
+        assert snap["replayed"] == 1
+        assert snap["done"] == 1
+        assert snap["complete"] is True
+        assert snap["eta"] == 0.0
+        # Only the genuinely executed job feeds the rate; a replayed
+        # grid must not claim 2 jobs in 2.1s.
+        assert snap["throughput"] == pytest.approx(1 / 2.1, abs=1e-3)
+        assert snap["utilization"] == pytest.approx(2.0 / (2.1 * 2),
+                                                    abs=1e-3)
+
+    def test_eta_ignores_zero_wall_replays(self):
+        events = self.REPLAY_EVENTS[:4] + [
+            {"event": "queued", "key": "k3", "label": "c/m/L",
+             "timestamp": 10.0},
+        ] + self.REPLAY_EVENTS[4:]
+        follower = TelemetryFollower()
+        follower.feed_text(synthetic_stream(events))
+        snap = follower.snapshot()
+        # One cell still queued; mean wall comes from the one real run
+        # (2.0s), never from the 0.0s replay: eta = 1 * 2.0 / 2 workers.
+        assert snap["complete"] is False
+        assert snap["mean_wall"] == pytest.approx(2.0)
+        assert snap["eta"] == pytest.approx(1.0)
+
+    def test_torn_tail_replay_recovers_from_finished_record(self):
+        """A journal replay whose REPLAYED record was lost still lands
+        in the replayed bucket via cache="replay" on FINISHED."""
+        events = [e for e in self.REPLAY_EVENTS
+                  if e["event"] != "replayed"]
+        follower = TelemetryFollower()
+        follower.feed_text(synthetic_stream(events))
+        snap = follower.snapshot()
+        assert snap["replayed"] == 1
+        assert snap["done"] == 1
+
+    def test_replays_render_in_panel_and_status_line(self):
+        follower = TelemetryFollower()
+        follower.feed_text(synthetic_stream(self.REPLAY_EVENTS))
+        assert "1 journal-replayed" in follower.render()
+        status = follower.status_line()
+        assert "[2/2]" in status
+        assert "replay 1" in status
+
+
 class TestSchemaGate:
     def test_unknown_schema_is_rejected_with_guidance(self):
         follower = TelemetryFollower()
